@@ -1,0 +1,103 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Every bench accepts:
+//   --quick          scaled-down system and trimmed sweeps (CI-friendly)
+//   --csv <path>     additionally dump machine-readable CSV
+//   --seed <n>       base seed for the stochastic elements
+//   --reps <n>       repetitions for configurations with randomness
+// and prints the paper's rows/series to stdout.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+#include "stats/csv.hpp"
+#include "workloads/paper_system.hpp"
+
+namespace hxsim::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  std::optional<std::string> csv_path;
+  std::uint64_t seed = 1;
+  std::int32_t reps = 3;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--quick") {
+        args.quick = true;
+      } else if (arg == "--csv") {
+        args.csv_path = next();
+      } else if (arg == "--seed") {
+        args.seed = std::stoull(next());
+      } else if (arg == "--reps") {
+        args.reps = std::stoi(next());
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("usage: %s [--quick] [--csv file] [--seed n] [--reps n]\n",
+                    argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] workloads::SystemOptions system_options() const {
+    workloads::SystemOptions opts;
+    opts.small_scale = quick;
+    return opts;
+  }
+};
+
+/// Repetitions for a configuration: deterministic combinations need one.
+[[nodiscard]] inline std::int32_t reps_for(
+    const workloads::PaperSystem::Config& config, const BenchArgs& args) {
+  const bool stochastic =
+      config.placement != mpi::PlacementKind::kLinear ||
+      config.cluster->pml().kind == mpi::PmlKind::kBfo;
+  return stochastic ? args.reps : 1;
+}
+
+/// Placement of the first `nranks` ranks under a config's policy.
+[[nodiscard]] inline mpi::Placement place(
+    const workloads::PaperSystem::Config& config, std::int32_t nranks,
+    std::int32_t machine_nodes, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const auto pool = mpi::Placement::whole_machine(machine_nodes);
+  return mpi::Placement::make(config.placement, nranks, pool, rng);
+}
+
+/// Optional CSV sink (no-op when --csv is absent).
+class CsvSink {
+ public:
+  CsvSink(const BenchArgs& args, const std::vector<std::string>& header) {
+    if (args.csv_path)
+      writer_.emplace(*args.csv_path, header);
+  }
+  void add_row(const std::vector<std::string>& cells) {
+    if (writer_) writer_->add_row(cells);
+  }
+  ~CsvSink() {
+    if (writer_) writer_->close();
+  }
+
+ private:
+  std::optional<stats::CsvWriter> writer_;
+};
+
+}  // namespace hxsim::bench

@@ -1,0 +1,69 @@
+// Figure 1: mpiGraph observable bandwidth for 28 nodes, three planes:
+//   Fat-Tree/ftree (paper: 2.26 GiB/s average)
+//   HyperX/DFSSSP  (paper: 0.84 GiB/s -- up to 7 streams on one cable)
+//   HyperX/PARX    (paper: 1.39 GiB/s, +66 % over DFSSSP)
+// Prints the three heatmaps (ASCII) and the average-bandwidth row.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+#include "stats/units.hpp"
+#include "workloads/mpigraph.hpp"
+
+namespace {
+
+using namespace hxsim;
+
+struct Plane {
+  const char* label;
+  const mpi::Cluster* cluster;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const workloads::PaperSystem system(args.system_options());
+  const std::int32_t nodes = args.quick ? 16 : 28;
+
+  std::printf("== Figure 1: mpiGraph bandwidth heatmaps (%d nodes, linear "
+              "placement) ==\n\n",
+              nodes);
+
+  const Plane planes[] = {
+      {"Fat-Tree with ftree routing", &system.ft_ftree()},
+      {"HyperX with DFSSSP routing", &system.hx_dfsssp()},
+      {"HyperX with PARX routing", &system.hx_parx()},
+  };
+
+  const mpi::Placement placement =
+      mpi::Placement::linear(nodes,
+                             mpi::Placement::whole_machine(system.num_nodes()));
+  const double scale_max =
+      system.ft_ftree().link().bandwidth / static_cast<double>(stats::kGiB);
+
+  stats::TextTable table({"plane", "mean GiB/s (off-diag)", "min", "max",
+                          "paper"});
+  const char* paper_values[] = {"2.26", "0.84", "1.39"};
+  bench::CsvSink csv(args, {"plane", "sender", "receiver", "gib_per_s"});
+
+  int idx = 0;
+  for (const Plane& plane : planes) {
+    workloads::MpiGraphOptions opts;
+    opts.seed = args.seed;
+    const stats::Heatmap map =
+        workloads::mpigraph(*plane.cluster, placement, nodes, opts);
+    std::printf("%s\n%s\n", plane.label, map.to_string(scale_max).c_str());
+    table.add_row({plane.label,
+                   stats::format_fixed(map.mean_off_diagonal(), 2),
+                   stats::format_fixed(map.min_value(), 2),
+                   stats::format_fixed(map.max_value(), 2),
+                   paper_values[idx++]});
+    for (std::size_t r = 0; r < map.rows(); ++r)
+      for (std::size_t c = 0; c < map.cols(); ++c)
+        csv.add_row({plane.label, std::to_string(c), std::to_string(r),
+                     stats::format_fixed(map.at(r, c), 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "core/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hxsim::core {
+
+DemandMatrix::DemandMatrix(std::int32_t num_nodes)
+    : nodes_(num_nodes),
+      cells_(static_cast<std::size_t>(num_nodes) *
+                 static_cast<std::size_t>(num_nodes),
+             0),
+      listed_dst_(static_cast<std::size_t>(num_nodes), 0) {}
+
+void DemandMatrix::set(topo::NodeId src, topo::NodeId dst,
+                       std::uint8_t demand) {
+  if (src < 0 || src >= nodes_ || dst < 0 || dst >= nodes_)
+    throw std::out_of_range("DemandMatrix::set: node out of range");
+  cells_[index(src, dst)] = demand;
+  if (demand > 0) listed_dst_[static_cast<std::size_t>(dst)] = 1;
+}
+
+DemandMatrix DemandMatrix::from_bytes(
+    std::int32_t num_nodes, std::span<const std::int64_t> byte_matrix) {
+  if (byte_matrix.size() != static_cast<std::size_t>(num_nodes) *
+                                static_cast<std::size_t>(num_nodes))
+    throw std::invalid_argument("DemandMatrix::from_bytes: size mismatch");
+
+  std::int64_t max_bytes = 0;
+  for (std::int64_t b : byte_matrix) max_bytes = std::max(max_bytes, b);
+
+  DemandMatrix m(num_nodes);
+  if (max_bytes == 0) return m;
+  for (topo::NodeId src = 0; src < num_nodes; ++src) {
+    for (topo::NodeId dst = 0; dst < num_nodes; ++dst) {
+      const std::int64_t b = byte_matrix[m.index(src, dst)];
+      if (b <= 0) continue;
+      // Proportional scale into [1, 255]: any traffic is at least 1.
+      const double scaled = std::round(
+          static_cast<double>(b) / static_cast<double>(max_bytes) * kDemandMax);
+      const auto demand = static_cast<std::uint8_t>(
+          std::clamp<double>(scaled, 1.0, kDemandMax));
+      m.set(src, dst, demand);
+    }
+  }
+  return m;
+}
+
+std::int64_t DemandMatrix::column_sum(topo::NodeId dst) const {
+  std::int64_t sum = 0;
+  for (topo::NodeId src = 0; src < nodes_; ++src) sum += at(src, dst);
+  return sum;
+}
+
+}  // namespace hxsim::core

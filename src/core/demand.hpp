@@ -1,0 +1,59 @@
+// Communication-demand profiles (paper Section 3.2.2/3.2.3).
+//
+// The paper records the absolute bytes exchanged between every pair of MPI
+// ranks with a low-level InfiniBand profiler, then normalises them to
+// integers in [0, 255]: 0 = no traffic, 1 = lowest recorded traffic,
+// 255 = the heaviest pair.  PARX ingests the *node-based* matrix (ranks are
+// resolved to nodes through the job's placement by the SAR-style interface,
+// Section 4.4.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace hxsim::core {
+
+inline constexpr std::int32_t kDemandMax = 255;
+
+class DemandMatrix {
+ public:
+  DemandMatrix() = default;
+  explicit DemandMatrix(std::int32_t num_nodes);
+
+  /// Normalises a raw byte matrix (row-major num_nodes^2): zero stays zero,
+  /// positive entries map to [1, 255] proportionally to the maximum.
+  [[nodiscard]] static DemandMatrix from_bytes(
+      std::int32_t num_nodes, std::span<const std::int64_t> byte_matrix);
+
+  [[nodiscard]] std::int32_t num_nodes() const noexcept { return nodes_; }
+  [[nodiscard]] bool empty() const noexcept { return nodes_ == 0; }
+
+  void set(topo::NodeId src, topo::NodeId dst, std::uint8_t demand);
+  [[nodiscard]] std::uint8_t at(topo::NodeId src, topo::NodeId dst) const {
+    return cells_[index(src, dst)];
+  }
+
+  /// True if any source lists traffic toward `dst` -- such destinations are
+  /// optimised first by Algorithm 1.
+  [[nodiscard]] bool is_listed_destination(topo::NodeId dst) const {
+    return listed_dst_[static_cast<std::size_t>(dst)] != 0;
+  }
+
+  /// Total demand toward dst (used by tests and diagnostics).
+  [[nodiscard]] std::int64_t column_sum(topo::NodeId dst) const;
+
+ private:
+  [[nodiscard]] std::size_t index(topo::NodeId src, topo::NodeId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(nodes_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  std::int32_t nodes_ = 0;
+  std::vector<std::uint8_t> cells_;
+  std::vector<std::uint8_t> listed_dst_;
+};
+
+}  // namespace hxsim::core

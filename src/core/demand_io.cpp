@@ -1,0 +1,85 @@
+#include "core/demand_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hxsim::core {
+
+void write_demands(std::ostream& out, const DemandMatrix& demands) {
+  out << "# hxsim communication demand file (src dst demand)\n";
+  out << demands.num_nodes() << "\n";
+  for (topo::NodeId src = 0; src < demands.num_nodes(); ++src) {
+    for (topo::NodeId dst = 0; dst < demands.num_nodes(); ++dst) {
+      const std::uint8_t d = demands.at(src, dst);
+      if (d == 0) continue;
+      out << src << ' ' << dst << ' ' << static_cast<int>(d) << '\n';
+    }
+  }
+}
+
+void write_demands_file(const std::string& path,
+                        const DemandMatrix& demands) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_demands_file: cannot open " + path);
+  write_demands(out, demands);
+  if (!out.flush())
+    throw std::runtime_error("write_demands_file: write failed: " + path);
+}
+
+namespace {
+
+[[noreturn]] void fail(std::int64_t line, const std::string& what) {
+  throw std::invalid_argument("demand file line " + std::to_string(line) +
+                              ": " + what);
+}
+
+}  // namespace
+
+DemandMatrix read_demands(std::istream& in) {
+  std::string line;
+  std::int64_t line_no = 0;
+  std::int32_t num_nodes = -1;
+  DemandMatrix demands;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    if (num_nodes < 0) {
+      if (!(fields >> num_nodes) || num_nodes < 0)
+        fail(line_no, "expected a non-negative node count");
+      std::string trailing;
+      if (fields >> trailing) fail(line_no, "trailing junk after node count");
+      demands = DemandMatrix(num_nodes);
+      continue;
+    }
+
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    std::int64_t demand = 0;
+    if (!(fields >> src >> dst >> demand))
+      fail(line_no, "expected 'src dst demand'");
+    std::string trailing;
+    if (fields >> trailing) fail(line_no, "trailing junk after triple");
+    if (src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes)
+      fail(line_no, "node id out of range");
+    if (demand < 1 || demand > kDemandMax)
+      fail(line_no, "demand must be in 1..255");
+    demands.set(static_cast<topo::NodeId>(src),
+                static_cast<topo::NodeId>(dst),
+                static_cast<std::uint8_t>(demand));
+  }
+  if (num_nodes < 0) fail(line_no, "missing node count header");
+  return demands;
+}
+
+DemandMatrix read_demands_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_demands_file: cannot open " + path);
+  return read_demands(in);
+}
+
+}  // namespace hxsim::core

@@ -1,0 +1,32 @@
+// Text (de)serialization of communication-demand files.
+//
+// The paper's PARX-OpenSM ingests "a communication demand file with one
+// line per source node: D := [(<destination>, <send demand>), ...]"
+// (Algorithm 1 input), produced by the SAR-style interface from a stored
+// profile and the job's node allocation.  This module implements that file
+// format so demand matrices can be stored, inspected, and replayed:
+//
+//   # comment lines and blank lines are ignored
+//   <num_nodes>
+//   <src> <dst> <demand>      # demand in 1..255, one triple per line
+//
+// Only non-zero entries are written.  Parsing is strict: out-of-range
+// nodes or demands raise std::invalid_argument with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/demand.hpp"
+
+namespace hxsim::core {
+
+/// Writes the matrix in the format above.
+void write_demands(std::ostream& out, const DemandMatrix& demands);
+void write_demands_file(const std::string& path, const DemandMatrix& demands);
+
+/// Parses a demand file; throws std::invalid_argument on malformed input.
+[[nodiscard]] DemandMatrix read_demands(std::istream& in);
+[[nodiscard]] DemandMatrix read_demands_file(const std::string& path);
+
+}  // namespace hxsim::core

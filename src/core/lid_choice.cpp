@@ -1,0 +1,57 @@
+#include "core/lid_choice.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::core {
+
+namespace {
+
+struct Cell {
+  std::int8_t a;
+  std::int8_t b;  // -1 when the table lists a single option
+};
+
+// Table 1a: x for small messages (rows: source quadrant, cols: destination).
+constexpr Cell kSmall[4][4] = {
+    /* Q0 */ {{1, 3}, {1, -1}, {0, 2}, {3, -1}},
+    /* Q1 */ {{1, -1}, {1, 2}, {2, -1}, {0, 3}},
+    /* Q2 */ {{1, 3}, {2, -1}, {0, 2}, {0, -1}},
+    /* Q3 */ {{3, -1}, {1, 2}, {0, -1}, {0, 3}},
+};
+
+// Table 1b: x for large messages.
+constexpr Cell kLarge[4][4] = {
+    /* Q0 */ {{0, 2}, {0, -1}, {0, 2}, {2, -1}},
+    /* Q1 */ {{0, -1}, {0, 3}, {3, -1}, {0, 3}},
+    /* Q2 */ {{1, 3}, {3, -1}, {1, 3}, {1, -1}},
+    /* Q3 */ {{2, -1}, {1, 2}, {1, -1}, {1, 2}},
+};
+
+}  // namespace
+
+LidChoice parx_lid_options(std::int32_t src_q, std::int32_t dst_q,
+                           MsgClass cls) {
+  if (src_q < 0 || src_q > 3 || dst_q < 0 || dst_q > 3)
+    throw std::out_of_range("parx_lid_options: quadrant must be 0..3");
+  const Cell cell = (cls == MsgClass::kSmall)
+                        ? kSmall[src_q][dst_q]
+                        : kLarge[src_q][dst_q];
+  LidChoice choice;
+  choice.options[0] = cell.a;
+  choice.count = 1;
+  if (cell.b >= 0) {
+    choice.options[1] = cell.b;
+    choice.count = 2;
+  }
+  return choice;
+}
+
+std::int8_t pick_parx_lid(std::int32_t src_q, std::int32_t dst_q, MsgClass cls,
+                          stats::Rng& rng) {
+  const LidChoice choice = parx_lid_options(src_q, dst_q, cls);
+  if (choice.count == 1) return choice.options[0];
+  return choice.options[static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(choice.count)))];
+}
+
+}  // namespace hxsim::core

@@ -1,0 +1,47 @@
+// Table 1 of the paper: which virtual destination LIDx a message uses.
+//
+// Given the quadrants of source and destination and the message class
+// (small = minimal paths wanted, large = bandwidth wanted), the table lists
+// one or two valid LID indices; when two are listed the transport picks one
+// at random (Section 3.2.4).  The encodings below are verbatim Table 1a/1b.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace hxsim::core {
+
+enum class MsgClass : std::int8_t { kSmall, kLarge };
+
+/// Message-size threshold separating small from large (Section 3.2.4:
+/// 512 bytes, calibrated with Multi-PingPong / mpiGraph).
+inline constexpr std::int64_t kParxSmallLargeThreshold = 512;
+
+[[nodiscard]] constexpr MsgClass classify_message(std::int64_t bytes) noexcept {
+  return bytes <= kParxSmallLargeThreshold ? MsgClass::kSmall
+                                           : MsgClass::kLarge;
+}
+
+struct LidChoice {
+  std::array<std::int8_t, 2> options{};
+  std::int8_t count = 0;
+
+  [[nodiscard]] bool contains(std::int8_t x) const noexcept {
+    for (std::int8_t i = 0; i < count; ++i)
+      if (options[static_cast<std::size_t>(i)] == x) return true;
+    return false;
+  }
+};
+
+/// Valid LID indices for a (source quadrant, destination quadrant, class)
+/// triple; quadrants in 0..3.
+[[nodiscard]] LidChoice parx_lid_options(std::int32_t src_q,
+                                         std::int32_t dst_q, MsgClass cls);
+
+/// Uniform pick among the valid options (the paper's random tie-break).
+[[nodiscard]] std::int8_t pick_parx_lid(std::int32_t src_q, std::int32_t dst_q,
+                                        MsgClass cls, stats::Rng& rng);
+
+}  // namespace hxsim::core

@@ -1,0 +1,91 @@
+#include "core/parx.hpp"
+
+#include <stdexcept>
+
+#include "routing/dfsssp.hpp"
+#include "routing/spf.hpp"
+
+namespace hxsim::core {
+
+ParxEngine::ParxEngine(const topo::HyperX& hx, DemandMatrix demands,
+                       ParxOptions options)
+    : hx_(&hx), demands_(std::move(demands)), options_(options) {
+  validate_parx_topology(hx);
+}
+
+routing::RouteResult ParxEngine::compute(const topo::Topology& topo,
+                                         const routing::LidSpace& lids) {
+  if (&hx_->topo() != &topo)
+    throw std::invalid_argument("ParxEngine: topology is not the HyperX");
+  if (lids.lmc() != kParxLmc)
+    throw std::invalid_argument("ParxEngine: LID space must have LMC=2");
+  if (!demands_.empty() && demands_.num_nodes() != topo.num_terminals())
+    throw std::invalid_argument("ParxEngine: demand matrix size mismatch");
+
+  routing::RouteResult res;
+  res.tables = routing::ForwardingTables(topo.num_switches(), lids.max_lid());
+
+  // Destination processing order: demand-listed nodes first (they get the
+  // freshest weight landscape), then all remaining nodes (Algorithm 1's
+  // "not processed before" loop).
+  std::vector<topo::NodeId> order;
+  order.reserve(static_cast<std::size_t>(topo.num_terminals()));
+  if (!demands_.empty()) {
+    for (topo::NodeId n = 0; n < topo.num_terminals(); ++n)
+      if (demands_.is_listed_destination(n)) order.push_back(n);
+  }
+  const std::size_t listed = order.size();
+  for (topo::NodeId n = 0; n < topo.num_terminals(); ++n) {
+    if (!demands_.empty() && demands_.is_listed_destination(n)) continue;
+    order.push_back(n);
+  }
+
+  std::vector<double> weight(static_cast<std::size_t>(topo.num_channels()),
+                             1.0);
+
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const topo::NodeId nd = order[rank];
+    const bool is_listed = rank < listed;
+    const topo::SwitchId dest_sw = topo.attach_switch(nd);
+
+    for (std::int32_t x = 0; x < lids.lids_per_terminal(); ++x) {
+      // Create the temporary graph I* by removing links per rules R1-R4.
+      routing::ChannelFilter filter;
+      if (options_.use_link_pruning) filter = parx_prune_filter(*hx_, x);
+      const routing::SpfResult tree =
+          routing::spf_to(topo, dest_sw, weight, filter);
+      res.unreachable_entries += routing::apply_tree_to_tables(
+          topo, tree, nd, lids.lid(nd, x), res.tables);
+
+      // Edge-weight update before the next round: demand-weighted for
+      // listed destinations, +1 per path otherwise.
+      for (topo::SwitchId s = 0; s < topo.num_switches(); ++s) {
+        if (s == dest_sw || !tree.reachable(s)) continue;
+        double delta = 0.0;
+        for (const topo::NodeId nx : topo.switch_terminals(s)) {
+          if (is_listed && options_.use_demand_weights) {
+            delta += static_cast<double>(demands_.at(nx, nd));
+          } else {
+            delta += 1.0;
+          }
+        }
+        if (delta == 0.0) continue;
+        topo::SwitchId at = s;
+        while (at != dest_sw) {
+          const topo::ChannelId out =
+              tree.out_channel[static_cast<std::size_t>(at)];
+          weight[static_cast<std::size_t>(out)] += delta;
+          at = topo.channel(out).dst.index;
+        }
+      }
+    }
+  }
+
+  // Deadlock-free configuration: assign every calculated path (incl. all
+  // virtual LIDs) to a virtual lane without creating a CDG cycle.
+  routing::DfssspEngine::assign_vls(topo, lids, res.tables, options_.max_vls,
+                                    res);
+  return res;
+}
+
+}  // namespace hxsim::core

@@ -1,0 +1,161 @@
+#include "mpi/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/lid_choice.hpp"
+#include "core/quadrant.hpp"
+
+namespace hxsim::mpi {
+
+Cluster::Cluster(const topo::Topology& topo, routing::LidSpace lids,
+                 routing::RouteResult route, PmlConfig pml,
+                 sim::LinkModel link)
+    : topo_(&topo),
+      lids_(std::move(lids)),
+      route_(std::move(route)),
+      pml_(pml),
+      link_(link) {
+  // Table-1 selection is meaningful exactly when the paper's setup is in
+  // place: multi-path PML + quadrant-grouped LMC=2 LID policy.
+  parx_selection_ = pml_.kind == PmlKind::kBfo &&
+                    lids_.group_stride() > 0 &&
+                    lids_.lmc() == core::kParxLmc;
+}
+
+routing::Lid Cluster::select_dlid(topo::NodeId src, topo::NodeId dst,
+                                  std::int64_t bytes, stats::Rng& rng) const {
+  auto reachable = [&](routing::Lid lid) {
+    return route_.tables.reachable(*topo_, lids_, src, lid);
+  };
+
+  if (!parx_selection_) {
+    const routing::Lid base = lids_.base_lid(dst);
+    if (reachable(base)) return base;
+    for (std::int32_t x = 1; x < lids_.lids_per_terminal(); ++x)
+      if (reachable(lids_.lid(dst, x))) return lids_.lid(dst, x);
+    return routing::kInvalidLid;
+  }
+
+  // The bfo layer recovers quadrants from LID values (paper footnote 9:
+  // q = lid / 1000) and applies Table 1.
+  const std::int32_t src_q = lids_.group_of_lid(lids_.base_lid(src));
+  const std::int32_t dst_q = lids_.group_of_lid(lids_.base_lid(dst));
+  const core::MsgClass cls = core::classify_message(bytes);
+  const core::LidChoice choice = core::parx_lid_options(src_q, dst_q, cls);
+
+  // Random pick among the listed alternatives, then reachability fallback
+  // over the remaining listed ones, then over all LIDs.
+  const std::int8_t first =
+      choice.count == 2
+          ? choice.options[static_cast<std::size_t>(rng.next_below(2))]
+          : choice.options[0];
+  if (reachable(lids_.lid(dst, first))) return lids_.lid(dst, first);
+  for (std::int8_t i = 0; i < choice.count; ++i) {
+    const std::int8_t x = choice.options[static_cast<std::size_t>(i)];
+    if (x != first && reachable(lids_.lid(dst, x))) return lids_.lid(dst, x);
+  }
+  for (std::int32_t x = 0; x < lids_.lids_per_terminal(); ++x)
+    if (reachable(lids_.lid(dst, x))) return lids_.lid(dst, x);
+  return routing::kInvalidLid;
+}
+
+std::optional<sim::NetMessage> Cluster::route_message(topo::NodeId src,
+                                                      topo::NodeId dst,
+                                                      std::int64_t bytes,
+                                                      stats::Rng& rng) const {
+  sim::NetMessage msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.bytes = bytes;
+  if (src == dst) return msg;  // loopback: no fabric involvement
+
+  const routing::Lid dlid = select_dlid(src, dst, bytes, rng);
+  if (dlid == routing::kInvalidLid) return std::nullopt;
+  routing::ForwardingTables::Path path =
+      route_.tables.path(*topo_, lids_, src, dlid);
+  if (!path.ok) return std::nullopt;
+  msg.path = std::move(path.channels);
+  msg.vl = route_.vls.vl(topo_->attach_switch(src), dlid);
+  return msg;
+}
+
+Transport::Transport(const Cluster& cluster, Placement placement,
+                     std::uint64_t seed)
+    : cluster_(&cluster),
+      placement_(std::move(placement)),
+      rng_(seed),
+      flows_(cluster.topo(), cluster.link()) {}
+
+double Transport::round_time(const Round& round) {
+  const PmlConfig& pml = cluster_->pml();
+  const sim::LinkModel& link = cluster_->link();
+
+  // Route all messages; count per-endpoint concurrency for the software
+  // serialization offsets.
+  std::vector<sim::NetMessage> msgs;
+  msgs.reserve(round.size());
+  std::vector<double> offset(round.size(), 0.0);
+  std::unordered_map<std::int32_t, std::int32_t> src_count;
+  std::unordered_map<std::int32_t, std::int32_t> dst_count;
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    const RankMsg& rm = round[i];
+    const topo::NodeId sn = placement_.node_of(rm.src_rank);
+    const topo::NodeId dn = placement_.node_of(rm.dst_rank);
+    auto routed = cluster_->route_message(sn, dn, rm.bytes, rng_);
+    if (!routed)
+      throw std::runtime_error("Transport: unroutable message in round");
+    const std::int32_t si = src_count[rm.src_rank]++;
+    const std::int32_t di = dst_count[rm.dst_rank]++;
+    offset[i] = static_cast<double>(std::max(si, di)) *
+                pml.per_message_overhead;
+    msgs.push_back(std::move(*routed));
+  }
+
+  // Fixed-rate network share for this round.
+  std::vector<sim::Flow> flows;
+  flows.reserve(msgs.size());
+  for (const sim::NetMessage& m : msgs)
+    flows.push_back(sim::Flow{m.path, m.bytes});
+  const std::vector<double> rate = flows_.fair_rates(flows);
+
+  double time = 0.0;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const sim::NetMessage& m = msgs[i];
+    double t = offset[i] + pml.per_message_overhead +
+               static_cast<double>(m.bytes) * pml.per_byte_overhead;
+    t += static_cast<double>(m.path.size()) * link.hop_latency;
+    if (m.bytes > 0 && !m.path.empty())
+      t += static_cast<double>(m.bytes) / rate[i];
+    time = std::max(time, t);
+  }
+  return time;
+}
+
+std::vector<double> Transport::execute_rounds(const Schedule& schedule) {
+  std::vector<double> times;
+  times.reserve(schedule.size());
+  for (const Round& round : schedule) {
+    if (round.empty()) {
+      times.push_back(0.0);
+      continue;
+    }
+    times.push_back(round_time(round));
+  }
+  return times;
+}
+
+double Transport::execute(const Schedule& schedule) {
+  double total = 0.0;
+  for (double t : execute_rounds(schedule)) total += t;
+  return total;
+}
+
+void Transport::accumulate(const Schedule& schedule, CommProfile& profile) {
+  for (const Round& round : schedule)
+    for (const RankMsg& m : round)
+      if (m.src_rank != m.dst_rank) profile.record(m.src_rank, m.dst_rank, m.bytes);
+}
+
+}  // namespace hxsim::mpi

@@ -1,0 +1,89 @@
+#include "mpi/placement.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace hxsim::mpi {
+
+const char* to_string(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kLinear:
+      return "linear";
+    case PlacementKind::kClustered:
+      return "clustered";
+    case PlacementKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+void check(std::int32_t nranks, std::span<const topo::NodeId> pool) {
+  if (nranks < 1) throw std::invalid_argument("Placement: nranks must be >= 1");
+  if (static_cast<std::size_t>(nranks) > pool.size())
+    throw std::invalid_argument("Placement: pool smaller than rank count");
+}
+
+}  // namespace
+
+Placement Placement::linear(std::int32_t nranks,
+                            std::span<const topo::NodeId> pool) {
+  check(nranks, pool);
+  return Placement(std::vector<topo::NodeId>(
+      pool.begin(), pool.begin() + nranks));
+}
+
+Placement Placement::clustered(std::int32_t nranks,
+                               std::span<const topo::NodeId> pool,
+                               stats::Rng& rng, double p) {
+  check(nranks, pool);
+  const auto size = static_cast<std::int64_t>(pool.size());
+  std::vector<char> taken(pool.size(), 0);
+  std::vector<topo::NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(nranks));
+
+  std::int64_t pos = 0;
+  taken[0] = 1;
+  nodes.push_back(pool[0]);
+  for (std::int32_t r = 1; r < nranks; ++r) {
+    const std::int64_t stride = 1 + rng.geometric(p);
+    pos = (pos + stride) % size;
+    while (taken[static_cast<std::size_t>(pos)]) pos = (pos + 1) % size;
+    taken[static_cast<std::size_t>(pos)] = 1;
+    nodes.push_back(pool[static_cast<std::size_t>(pos)]);
+  }
+  return Placement(std::move(nodes));
+}
+
+Placement Placement::random(std::int32_t nranks,
+                            std::span<const topo::NodeId> pool,
+                            stats::Rng& rng) {
+  check(nranks, pool);
+  std::vector<topo::NodeId> shuffled(pool.begin(), pool.end());
+  rng.shuffle(shuffled);
+  shuffled.resize(static_cast<std::size_t>(nranks));
+  return Placement(std::move(shuffled));
+}
+
+Placement Placement::make(PlacementKind kind, std::int32_t nranks,
+                          std::span<const topo::NodeId> pool,
+                          stats::Rng& rng) {
+  switch (kind) {
+    case PlacementKind::kLinear:
+      return linear(nranks, pool);
+    case PlacementKind::kClustered:
+      return clustered(nranks, pool, rng);
+    case PlacementKind::kRandom:
+      return random(nranks, pool, rng);
+  }
+  throw std::invalid_argument("Placement::make: bad kind");
+}
+
+std::vector<topo::NodeId> Placement::whole_machine(std::int32_t num_nodes) {
+  std::vector<topo::NodeId> pool(static_cast<std::size_t>(num_nodes));
+  std::iota(pool.begin(), pool.end(), 0);
+  return pool;
+}
+
+}  // namespace hxsim::mpi

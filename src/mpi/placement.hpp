@@ -1,0 +1,74 @@
+// MPI rank-to-node placements (paper Sections 3.1 and 4.4.3).
+//
+// Three allocation schemes are compared by the paper:
+//  - linear: rank i on node i of the pool (common scheduler behaviour;
+//    isolates small jobs, minimises latency);
+//  - clustered: strides drawn from a geometric distribution with p = 0.8,
+//    emulating fragmentation of a production machine;
+//  - random: the paper's bottleneck-mitigation strategy for static-routed
+//    HyperX (Section 3.1).
+//
+// A placement maps ranks onto a *pool* of candidate nodes (the whole
+// machine for capability runs, a job's allocation for capacity runs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace hxsim::mpi {
+
+enum class PlacementKind : std::int8_t { kLinear, kClustered, kRandom };
+
+[[nodiscard]] const char* to_string(PlacementKind kind);
+
+class Placement {
+ public:
+  Placement() = default;
+
+  /// rank i -> pool[i].
+  [[nodiscard]] static Placement linear(std::int32_t nranks,
+                                        std::span<const topo::NodeId> pool);
+
+  /// Geometric strides through the pool (p = success probability of the
+  /// stride draw; the paper uses 0.8).  Walks the pool modulo its size,
+  /// skipping already-assigned slots.
+  [[nodiscard]] static Placement clustered(std::int32_t nranks,
+                                           std::span<const topo::NodeId> pool,
+                                           stats::Rng& rng, double p = 0.8);
+
+  /// Uniformly random distinct nodes in random order.
+  [[nodiscard]] static Placement random(std::int32_t nranks,
+                                        std::span<const topo::NodeId> pool,
+                                        stats::Rng& rng);
+
+  /// Dispatch on kind.
+  [[nodiscard]] static Placement make(PlacementKind kind, std::int32_t nranks,
+                                      std::span<const topo::NodeId> pool,
+                                      stats::Rng& rng);
+
+  /// Convenience pool = {0, ..., num_nodes-1}.
+  [[nodiscard]] static std::vector<topo::NodeId> whole_machine(
+      std::int32_t num_nodes);
+
+  [[nodiscard]] std::int32_t num_ranks() const noexcept {
+    return static_cast<std::int32_t>(nodes_.size());
+  }
+  [[nodiscard]] topo::NodeId node_of(std::int32_t rank) const {
+    return nodes_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::span<const topo::NodeId> nodes() const noexcept {
+    return nodes_;
+  }
+
+ private:
+  explicit Placement(std::vector<topo::NodeId> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  std::vector<topo::NodeId> nodes_;
+};
+
+}  // namespace hxsim::mpi

@@ -1,0 +1,21 @@
+#include "mpi/pml.hpp"
+
+namespace hxsim::mpi {
+
+PmlConfig make_ob1() {
+  PmlConfig cfg;
+  cfg.kind = PmlKind::kOb1;
+  cfg.per_message_overhead = 1.1e-6;
+  cfg.per_byte_overhead = 2.0e-11;
+  return cfg;
+}
+
+PmlConfig make_bfo() {
+  PmlConfig cfg;
+  cfg.kind = PmlKind::kBfo;
+  cfg.per_message_overhead = 4.4e-6;
+  cfg.per_byte_overhead = 2.6e-11;
+  return cfg;
+}
+
+}  // namespace hxsim::mpi

@@ -1,0 +1,200 @@
+#include "routing/cdg.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hxsim::routing {
+
+IncrementalDag::IncrementalDag(std::int32_t num_nodes)
+    : n_(num_nodes),
+      out_(static_cast<std::size_t>(num_nodes)),
+      in_(static_cast<std::size_t>(num_nodes)),
+      ord_(static_cast<std::size_t>(num_nodes)),
+      node_at_(static_cast<std::size_t>(num_nodes)),
+      mark_(static_cast<std::size_t>(num_nodes), 0) {
+  std::iota(ord_.begin(), ord_.end(), 0);
+  std::iota(node_at_.begin(), node_at_.end(), 0);
+}
+
+bool IncrementalDag::has_edge(std::int32_t u, std::int32_t v) const {
+  return edge_set_.contains(key(u, v));
+}
+
+bool IncrementalDag::dfs_forward(std::int32_t v, std::int32_t ub,
+                                 std::vector<std::int32_t>& visited) {
+  // Iterative DFS; nodes beyond position ub cannot participate in a cycle
+  // with the new edge.  Reaching position ub itself means reaching u.
+  std::vector<std::int32_t> stack{v};
+  mark_[static_cast<std::size_t>(v)] = 1;
+  visited.push_back(v);
+  bool found = false;
+  while (!stack.empty()) {
+    const std::int32_t w = stack.back();
+    stack.pop_back();
+    for (std::int32_t next : out_[static_cast<std::size_t>(w)]) {
+      const std::int32_t pos = ord_[static_cast<std::size_t>(next)];
+      if (pos == ub) {
+        found = true;  // cycle: u reachable from v
+        continue;
+      }
+      if (pos > ub || mark_[static_cast<std::size_t>(next)]) continue;
+      mark_[static_cast<std::size_t>(next)] = 1;
+      visited.push_back(next);
+      stack.push_back(next);
+    }
+  }
+  return found;
+}
+
+void IncrementalDag::dfs_backward(std::int32_t u, std::int32_t lb,
+                                  std::vector<std::int32_t>& visited) {
+  std::vector<std::int32_t> stack{u};
+  mark_[static_cast<std::size_t>(u)] = 1;
+  visited.push_back(u);
+  while (!stack.empty()) {
+    const std::int32_t w = stack.back();
+    stack.pop_back();
+    for (std::int32_t prev : in_[static_cast<std::size_t>(w)]) {
+      const std::int32_t pos = ord_[static_cast<std::size_t>(prev)];
+      if (pos < lb || mark_[static_cast<std::size_t>(prev)]) continue;
+      mark_[static_cast<std::size_t>(prev)] = 1;
+      visited.push_back(prev);
+      stack.push_back(prev);
+    }
+  }
+}
+
+void IncrementalDag::reorder(std::vector<std::int32_t>& delta_b,
+                             std::vector<std::int32_t>& delta_f) {
+  auto by_position = [this](std::int32_t a, std::int32_t b) {
+    return ord_[static_cast<std::size_t>(a)] < ord_[static_cast<std::size_t>(b)];
+  };
+  std::sort(delta_b.begin(), delta_b.end(), by_position);
+  std::sort(delta_f.begin(), delta_f.end(), by_position);
+
+  std::vector<std::int32_t> pool;
+  pool.reserve(delta_b.size() + delta_f.size());
+  for (std::int32_t node : delta_b)
+    pool.push_back(ord_[static_cast<std::size_t>(node)]);
+  for (std::int32_t node : delta_f)
+    pool.push_back(ord_[static_cast<std::size_t>(node)]);
+  std::sort(pool.begin(), pool.end());
+
+  std::size_t slot = 0;
+  auto place = [&](std::int32_t node) {
+    const std::int32_t pos = pool[slot++];
+    ord_[static_cast<std::size_t>(node)] = pos;
+    node_at_[static_cast<std::size_t>(pos)] = node;
+  };
+  for (std::int32_t node : delta_b) place(node);
+  for (std::int32_t node : delta_f) place(node);
+}
+
+bool IncrementalDag::add_edge(std::int32_t u, std::int32_t v) {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_)
+    throw std::out_of_range("IncrementalDag::add_edge: node out of range");
+  if (u == v) return false;  // a self-loop is a cycle
+  if (has_edge(u, v)) return true;
+
+  const std::int32_t lb = ord_[static_cast<std::size_t>(v)];
+  const std::int32_t ub = ord_[static_cast<std::size_t>(u)];
+  if (lb > ub) {
+    // Order already consistent; plain insertion.
+    edge_set_.insert(key(u, v));
+    out_[static_cast<std::size_t>(u)].push_back(v);
+    in_[static_cast<std::size_t>(v)].push_back(u);
+    return true;
+  }
+
+  // Pearce-Kelly: discover the affected region [lb, ub].
+  std::vector<std::int32_t> delta_f;
+  const bool cycle = dfs_forward(v, ub, delta_f);
+  if (cycle) {
+    for (std::int32_t node : delta_f) mark_[static_cast<std::size_t>(node)] = 0;
+    return false;
+  }
+  std::vector<std::int32_t> delta_b;
+  dfs_backward(u, lb, delta_b);
+  reorder(delta_b, delta_f);
+  for (std::int32_t node : delta_f) mark_[static_cast<std::size_t>(node)] = 0;
+  for (std::int32_t node : delta_b) mark_[static_cast<std::size_t>(node)] = 0;
+
+  edge_set_.insert(key(u, v));
+  out_[static_cast<std::size_t>(u)].push_back(v);
+  in_[static_cast<std::size_t>(v)].push_back(u);
+  return true;
+}
+
+void IncrementalDag::remove_edge(std::int32_t u, std::int32_t v) {
+  const auto it = edge_set_.find(key(u, v));
+  if (it == edge_set_.end()) return;
+  edge_set_.erase(it);
+  auto& outs = out_[static_cast<std::size_t>(u)];
+  outs.erase(std::find(outs.begin(), outs.end(), v));
+  auto& ins = in_[static_cast<std::size_t>(v)];
+  ins.erase(std::find(ins.begin(), ins.end(), u));
+}
+
+VlLayering::VlLayering(std::int32_t num_channels, std::int32_t max_layers) {
+  if (max_layers < 1)
+    throw std::invalid_argument("VlLayering: need at least one layer");
+  layers_.reserve(static_cast<std::size_t>(max_layers));
+  for (std::int32_t i = 0; i < max_layers; ++i)
+    layers_.emplace_back(num_channels);
+}
+
+std::int32_t VlLayering::place_path(
+    std::span<const std::int32_t> channel_path) {
+  if (channel_path.size() < 2) {
+    // No switch-to-switch dependency; any layer works, use the first.
+    layers_used_ = std::max(layers_used_, 1);
+    return 0;
+  }
+  for (std::int32_t layer = 0; layer < max_layers(); ++layer) {
+    IncrementalDag& dag = layers_[static_cast<std::size_t>(layer)];
+    std::vector<std::pair<std::int32_t, std::int32_t>> added;
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < channel_path.size(); ++i) {
+      const std::int32_t a = channel_path[i];
+      const std::int32_t b = channel_path[i + 1];
+      if (dag.has_edge(a, b)) continue;
+      if (!dag.add_edge(a, b)) {
+        ok = false;
+        break;
+      }
+      added.emplace_back(a, b);
+    }
+    if (ok) {
+      layers_used_ = std::max(layers_used_, layer + 1);
+      return layer;
+    }
+    for (auto [a, b] : added) dag.remove_edge(a, b);
+  }
+  return -1;
+}
+
+bool acyclic(std::int32_t num_nodes,
+             std::span<const std::pair<std::int32_t, std::int32_t>> edges) {
+  std::vector<std::vector<std::int32_t>> out(
+      static_cast<std::size_t>(num_nodes));
+  std::vector<std::int32_t> indegree(static_cast<std::size_t>(num_nodes), 0);
+  for (const auto& [u, v] : edges) {
+    out[static_cast<std::size_t>(u)].push_back(v);
+    ++indegree[static_cast<std::size_t>(v)];
+  }
+  std::vector<std::int32_t> ready;
+  for (std::int32_t i = 0; i < num_nodes; ++i)
+    if (indegree[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  std::int64_t processed = 0;
+  while (!ready.empty()) {
+    const std::int32_t u = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (std::int32_t v : out[static_cast<std::size_t>(u)])
+      if (--indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+  return processed == num_nodes;
+}
+
+}  // namespace hxsim::routing

@@ -1,0 +1,97 @@
+// Channel dependency graph (CDG) machinery for deadlock-free routing.
+//
+// A routing function is deadlock-free on a virtual lane iff the dependency
+// graph whose vertices are channels and whose edges connect consecutive
+// channels of some path is acyclic (Dally & Towles [13 in the paper]).
+//
+//  - IncrementalDag: an online DAG with cycle rejection, implementing the
+//    Pearce-Kelly dynamic topological-order algorithm.  add_edge() refuses
+//    (and leaves the DAG unchanged) when the edge would close a cycle.
+//  - VlLayering: greedy path-to-layer assignment used by DFSSSP and PARX --
+//    a path goes to the lowest virtual lane whose CDG stays acyclic.
+//  - acyclic(): batch oracle used by tests to independently verify the
+//    layering (Kahn's algorithm).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+namespace hxsim::routing {
+
+class IncrementalDag {
+ public:
+  explicit IncrementalDag(std::int32_t num_nodes);
+
+  /// Adds edge u -> v unless it would create a cycle.
+  /// Returns false (and changes nothing) when rejected.
+  /// Adding an existing edge succeeds trivially.
+  bool add_edge(std::int32_t u, std::int32_t v);
+
+  /// Removes an edge if present (removals never create cycles).
+  void remove_edge(std::int32_t u, std::int32_t v);
+
+  [[nodiscard]] bool has_edge(std::int32_t u, std::int32_t v) const;
+  [[nodiscard]] std::int64_t num_edges() const noexcept {
+    return static_cast<std::int64_t>(edge_set_.size());
+  }
+
+  /// Current topological position of a node (tests assert consistency).
+  [[nodiscard]] std::int32_t order_of(std::int32_t node) const {
+    return ord_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  [[nodiscard]] std::int64_t key(std::int32_t u, std::int32_t v) const {
+    return static_cast<std::int64_t>(u) * n_ + v;
+  }
+  /// DFS forward from `v` over nodes with ord < ub, collecting visits;
+  /// returns true if the node at position ub (i.e. u) is reachable.
+  bool dfs_forward(std::int32_t v, std::int32_t ub,
+                   std::vector<std::int32_t>& visited);
+  /// DFS backward from `u` over nodes with ord > lb, collecting visits.
+  void dfs_backward(std::int32_t u, std::int32_t lb,
+                    std::vector<std::int32_t>& visited);
+  /// Pearce-Kelly reorder: place delta_b before delta_f in the union of
+  /// their current positions.
+  void reorder(std::vector<std::int32_t>& delta_b,
+               std::vector<std::int32_t>& delta_f);
+
+  std::int32_t n_;
+  std::vector<std::vector<std::int32_t>> out_;
+  std::vector<std::vector<std::int32_t>> in_;
+  std::vector<std::int32_t> ord_;       // node -> topological position
+  std::vector<std::int32_t> node_at_;   // position -> node
+  std::vector<char> mark_;              // DFS scratch
+  std::unordered_set<std::int64_t> edge_set_;
+};
+
+/// Greedy assignment of paths (channel sequences) to virtual lanes.
+class VlLayering {
+ public:
+  VlLayering(std::int32_t num_channels, std::int32_t max_layers);
+
+  /// Places all consecutive dependencies of `channel_path` into the lowest
+  /// layer that stays acyclic.  Returns the layer, or -1 if no layer fits
+  /// (the paper's "PARX may exceed a VL hardware limit" case).
+  std::int32_t place_path(std::span<const std::int32_t> channel_path);
+
+  [[nodiscard]] std::int32_t layers_used() const noexcept {
+    return layers_used_;
+  }
+  [[nodiscard]] std::int32_t max_layers() const noexcept {
+    return static_cast<std::int32_t>(layers_.size());
+  }
+
+ private:
+  std::vector<IncrementalDag> layers_;
+  std::int32_t layers_used_ = 0;
+};
+
+/// Batch acyclicity test over dependency edges (pairs u -> v).
+[[nodiscard]] bool acyclic(
+    std::int32_t num_nodes,
+    std::span<const std::pair<std::int32_t, std::int32_t>> edges);
+
+}  // namespace hxsim::routing

@@ -1,0 +1,60 @@
+#include "routing/dfsssp.hpp"
+
+#include <stdexcept>
+
+#include "routing/cdg.hpp"
+
+namespace hxsim::routing {
+
+void DfssspEngine::assign_vls(const topo::Topology& topo, const LidSpace& lids,
+                              const ForwardingTables& tables,
+                              std::int32_t max_vls, RouteResult& result) {
+  result.vls = VlMap(topo.num_switches(), lids.max_lid());
+  VlLayering layering(topo.num_channels(), max_vls);
+
+  // Walk every (source switch, destination LID) path once; terminal
+  // channels cannot participate in dependency cycles and are skipped.
+  std::vector<std::int32_t> path;
+  for (const Lid dlid : lids.all_lids()) {
+    const LidSpace::Owner owner = lids.owner(dlid);
+    const topo::SwitchId dest_sw = topo.attach_switch(owner.node);
+    for (topo::SwitchId src = 0; src < topo.num_switches(); ++src) {
+      if (src == dest_sw) continue;
+      path.clear();
+      topo::SwitchId at = src;
+      bool ok = true;
+      while (at != dest_sw) {
+        const topo::ChannelId out = tables.next(at, dlid);
+        if (out == topo::kInvalidChannel ||
+            static_cast<std::int32_t>(path.size()) > topo.num_switches()) {
+          ok = false;
+          break;
+        }
+        const topo::Channel& c = topo.channel(out);
+        if (!c.dst.is_switch()) {
+          ok = false;  // reached a terminal that is not the owner's switch
+          break;
+        }
+        path.push_back(out);
+        at = c.dst.index;
+      }
+      if (!ok || path.empty()) continue;
+      const std::int32_t vl = layering.place_path(path);
+      if (vl < 0)
+        throw std::runtime_error(
+            "DFSSSP: paths exceed the virtual-lane budget");
+      result.vls.set(src, dlid, static_cast<std::int8_t>(vl));
+    }
+  }
+  result.num_vls_used = layering.layers_used();
+}
+
+RouteResult DfssspEngine::compute(const topo::Topology& topo,
+                                  const LidSpace& lids) {
+  SsspEngine base;
+  RouteResult res = base.compute(topo, lids);
+  assign_vls(topo, lids, res.tables, max_vls_, res);
+  return res;
+}
+
+}  // namespace hxsim::routing

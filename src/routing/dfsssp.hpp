@@ -1,0 +1,34 @@
+// DFSSSP: deadlock-free SSSP routing (Domke, Hoefler, Nagel [17]).
+//
+// Runs the SSSP balancing pass, then distributes the resulting paths over
+// virtual lanes such that each lane's channel dependency graph is acyclic.
+// The paper uses DFSSSP as the default HyperX routing (3 VLs suffice on the
+// 12x8) and as the base algorithm PARX modifies.
+#pragma once
+
+#include "routing/engine.hpp"
+#include "routing/sssp.hpp"
+
+namespace hxsim::routing {
+
+class DfssspEngine final : public RoutingEngine {
+ public:
+  /// max_vls: hardware virtual-lane budget (paper: 8 on QDR InfiniBand).
+  explicit DfssspEngine(std::int32_t max_vls = 8) : max_vls_(max_vls) {}
+
+  [[nodiscard]] std::string name() const override { return "dfsssp"; }
+  [[nodiscard]] RouteResult compute(const topo::Topology& topo,
+                                    const LidSpace& lids) override;
+
+  /// Assigns virtual lanes for every (source switch, dlid) path of an
+  /// existing table set; shared with the PARX engine.  Throws
+  /// std::runtime_error if the paths cannot be layered within max_vls.
+  static void assign_vls(const topo::Topology& topo, const LidSpace& lids,
+                         const ForwardingTables& tables, std::int32_t max_vls,
+                         RouteResult& result);
+
+ private:
+  std::int32_t max_vls_;
+};
+
+}  // namespace hxsim::routing

@@ -1,0 +1,69 @@
+#include "routing/ftree.hpp"
+
+#include <stdexcept>
+
+#include "routing/spf.hpp"
+
+namespace hxsim::routing {
+
+RouteResult FtreeEngine::compute(const topo::Topology& topo,
+                                 const LidSpace& lids) {
+  if (&tree_->topo() != &topo)
+    throw std::invalid_argument("FtreeEngine: topology is not the tree");
+
+  RouteResult res;
+  res.tables = ForwardingTables(topo.num_switches(), lids.max_lid());
+  res.vls = VlMap();  // all zero: up/down needs a single VL
+  res.num_vls_used = 1;
+
+  const std::int32_t k = tree_->arity();
+  const std::int32_t n = tree_->levels();
+
+  // rank = distance from the top level (updown_spf_to ascends toward
+  // rank 0).
+  std::vector<std::int32_t> rank(static_cast<std::size_t>(topo.num_switches()));
+  for (topo::SwitchId sw = 0; sw < topo.num_switches(); ++sw)
+    rank[static_cast<std::size_t>(sw)] = (n - 1) - tree_->level_of(sw);
+
+  // Per-destination channel weights: canonical up channels (those matching
+  // the destination's root digits) get 1.0, the rest 1 + 1/64, so intact
+  // fabrics reproduce exact D-mod-K paths and faulty ones detour minimally.
+  constexpr double kDetourPenalty = 1.0 + 1.0 / 64.0;
+  std::vector<double> weight(static_cast<std::size_t>(topo.num_channels()),
+                             1.0);
+  std::vector<topo::ChannelId> touched;
+
+  // With a leaf taper only roots whose digit 0 survives are usable.
+  const std::int32_t root_digit0_bound =
+      tree_->arity() / tree_->params().taper;
+  for (const Lid dlid : lids.all_lids()) {
+    const LidSpace::Owner owner = lids.owner(dlid);
+    std::int32_t root_word = dlid % tree_->switches_per_level();
+    if (tree_->digit(root_word, 0) >= root_digit0_bound)
+      root_word = tree_->with_digit(
+          root_word, 0, tree_->digit(root_word, 0) % root_digit0_bound);
+
+    touched.clear();
+    for (topo::SwitchId sw = 0; sw < topo.num_switches(); ++sw) {
+      const std::int32_t l = tree_->level_of(sw);
+      if (l == n - 1) continue;  // top level has no up channels
+      for (std::int32_t v = 0; v < k; ++v) {
+        if (v == tree_->digit(root_word, l)) continue;
+        const topo::ChannelId up = tree_->up_channel(sw, v);
+        if (up == topo::kInvalidChannel) continue;  // tapered-away uplink
+        weight[static_cast<std::size_t>(up)] = kDetourPenalty;
+        touched.push_back(up);
+      }
+    }
+
+    const SpfResult tree = updown_spf_to(
+        topo, topo.attach_switch(owner.node), rank, weight);
+    res.unreachable_entries +=
+        apply_tree_to_tables(topo, tree, owner.node, dlid, res.tables);
+
+    for (topo::ChannelId ch : touched) weight[static_cast<std::size_t>(ch)] = 1.0;
+  }
+  return res;
+}
+
+}  // namespace hxsim::routing

@@ -1,0 +1,34 @@
+// OpenSM-style "ftree" routing for k-ary n-trees.
+//
+// Deterministic destination-based tree routing: every destination LID is
+// assigned a root (spread across the top level by dlid modulo the level
+// width, the D-mod-K idea of Zahavi [85]); traffic ascends toward that root
+// and descends along the unique digit-fixing down path.  On faulty fabrics
+// the engine degrades gracefully because paths are found with an
+// Up*/Down*-restricted shortest-path search in which the canonical
+// (root-matching) up channels are merely *preferred* by a small weight
+// bonus; any legal up/down detour remains available.
+//
+// ftree paths never create channel-dependency cycles, so one virtual lane
+// suffices.
+#pragma once
+
+#include "routing/engine.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace hxsim::routing {
+
+class FtreeEngine final : public RoutingEngine {
+ public:
+  /// The tree must outlive the engine.
+  explicit FtreeEngine(const topo::FatTree& tree) : tree_(&tree) {}
+
+  [[nodiscard]] std::string name() const override { return "ftree"; }
+  [[nodiscard]] RouteResult compute(const topo::Topology& topo,
+                                    const LidSpace& lids) override;
+
+ private:
+  const topo::FatTree* tree_;
+};
+
+}  // namespace hxsim::routing

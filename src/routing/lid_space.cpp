@@ -1,0 +1,86 @@
+#include "routing/lid_space.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::routing {
+
+LidSpace LidSpace::consecutive(std::int32_t num_terminals, std::int32_t lmc) {
+  if (lmc < 0 || lmc > 7)
+    throw std::invalid_argument("LidSpace: lmc must be in [0, 7]");
+  LidSpace s;
+  s.lmc_ = lmc;
+  s.base_.resize(static_cast<std::size_t>(num_terminals));
+  const std::int32_t per = 1 << lmc;
+  for (std::int32_t n = 0; n < num_terminals; ++n)
+    s.base_[static_cast<std::size_t>(n)] = n * per;
+  s.max_lid_ = num_terminals * per - 1;
+  s.build_reverse();
+  return s;
+}
+
+LidSpace LidSpace::grouped(std::span<const std::vector<topo::NodeId>> groups,
+                           std::int32_t lmc, Lid group_stride) {
+  if (lmc < 0 || lmc > 7)
+    throw std::invalid_argument("LidSpace: lmc must be in [0, 7]");
+  if (group_stride <= 0)
+    throw std::invalid_argument("LidSpace: group_stride must be positive");
+  LidSpace s;
+  s.lmc_ = lmc;
+  s.group_stride_ = group_stride;
+  const std::int32_t per = 1 << lmc;
+
+  std::int32_t num_terminals = 0;
+  for (const auto& g : groups) num_terminals += static_cast<std::int32_t>(g.size());
+  s.base_.assign(static_cast<std::size_t>(num_terminals), kInvalidLid);
+  s.group_.assign(static_cast<std::size_t>(num_terminals), -1);
+
+  s.max_lid_ = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (static_cast<Lid>(groups[g].size()) * per > group_stride)
+      throw std::invalid_argument("LidSpace: group does not fit in stride");
+    for (std::size_t i = 0; i < groups[g].size(); ++i) {
+      const topo::NodeId n = groups[g][i];
+      if (n < 0 || n >= num_terminals)
+        throw std::out_of_range("LidSpace::grouped: node id out of range");
+      auto& base = s.base_[static_cast<std::size_t>(n)];
+      if (base != kInvalidLid)
+        throw std::invalid_argument("LidSpace: node in two groups");
+      base = static_cast<Lid>(g) * group_stride + static_cast<Lid>(i) * per;
+      s.group_[static_cast<std::size_t>(n)] = static_cast<std::int32_t>(g);
+      s.max_lid_ = std::max(s.max_lid_, base + per - 1);
+    }
+  }
+  for (Lid base : s.base_)
+    if (base == kInvalidLid)
+      throw std::invalid_argument("LidSpace: node missing from groups");
+  s.build_reverse();
+  return s;
+}
+
+void LidSpace::build_reverse() {
+  lid_owner_.assign(static_cast<std::size_t>(max_lid_) + 1, topo::kInvalidNode);
+  const std::int32_t per = lids_per_terminal();
+  for (std::int32_t n = 0; n < num_terminals(); ++n) {
+    const Lid base = base_[static_cast<std::size_t>(n)];
+    for (std::int32_t x = 0; x < per; ++x)
+      lid_owner_[static_cast<std::size_t>(base + x)] = n;
+  }
+}
+
+LidSpace::Owner LidSpace::owner(Lid lid) const {
+  if (lid < 0 || lid > max_lid_) return {};
+  const topo::NodeId n = lid_owner_[static_cast<std::size_t>(lid)];
+  if (n == topo::kInvalidNode) return {};
+  return Owner{n, lid - base_[static_cast<std::size_t>(n)]};
+}
+
+std::vector<Lid> LidSpace::all_lids() const {
+  std::vector<Lid> lids;
+  lids.reserve(base_.size() * static_cast<std::size_t>(lids_per_terminal()));
+  for (Lid l = 0; l <= max_lid_; ++l)
+    if (lid_owner_[static_cast<std::size_t>(l)] != topo::kInvalidNode)
+      lids.push_back(l);
+  return lids;
+}
+
+}  // namespace hxsim::routing

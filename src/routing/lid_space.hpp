@@ -1,0 +1,94 @@
+// InfiniBand LID address space with LMC multi-pathing.
+//
+// Every terminal (HCA port) owns 2^LMC consecutive "virtual destination"
+// LIDs (paper Section 3.2.1).  Routing engines compute a forwarding entry
+// per LID, so a higher LMC buys path diversity at the cost of bigger tables.
+//
+// Two assignment policies are provided:
+//  - consecutive(): base LIDs packed from 0 upward (OpenSM default);
+//  - grouped(): the paper's PARX guid2lid policy, where nodes of quadrant q
+//    live in the LID range [q*stride, (q+1)*stride) so that the MPI layer
+//    can recover the quadrant as q = lid / stride (paper footnote 9 uses
+//    stride 1000).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace hxsim::routing {
+
+using Lid = std::int32_t;
+inline constexpr Lid kInvalidLid = -1;
+
+class LidSpace {
+ public:
+  /// OpenSM-style packed assignment: node n owns [n*2^lmc, (n+1)*2^lmc).
+  [[nodiscard]] static LidSpace consecutive(std::int32_t num_terminals,
+                                            std::int32_t lmc);
+
+  /// Group-based assignment: the i-th node of group g owns
+  /// [g*stride + i*2^lmc, g*stride + (i+1)*2^lmc).  Every terminal must
+  /// appear in exactly one group; a group must fit within the stride.
+  [[nodiscard]] static LidSpace grouped(
+      std::span<const std::vector<topo::NodeId>> groups, std::int32_t lmc,
+      Lid group_stride);
+
+  [[nodiscard]] std::int32_t lmc() const noexcept { return lmc_; }
+  [[nodiscard]] std::int32_t lids_per_terminal() const noexcept {
+    return 1 << lmc_;
+  }
+  [[nodiscard]] std::int32_t num_terminals() const noexcept {
+    return static_cast<std::int32_t>(base_.size());
+  }
+  /// Largest assigned LID.
+  [[nodiscard]] Lid max_lid() const noexcept { return max_lid_; }
+
+  [[nodiscard]] Lid base_lid(topo::NodeId n) const {
+    return base_[static_cast<std::size_t>(n)];
+  }
+  /// LIDx of a node, x in [0, 2^lmc).
+  [[nodiscard]] Lid lid(topo::NodeId n, std::int32_t x = 0) const {
+    return base_[static_cast<std::size_t>(n)] + x;
+  }
+
+  struct Owner {
+    topo::NodeId node = topo::kInvalidNode;
+    std::int32_t index = -1;  // x of LIDx
+
+    [[nodiscard]] bool valid() const noexcept {
+      return node != topo::kInvalidNode;
+    }
+  };
+  /// Reverse lookup; Owner{kInvalidNode, -1} for unassigned LIDs.
+  [[nodiscard]] Owner owner(Lid lid) const;
+
+  /// Group of a node (grouped policy); 0 for consecutive policy.
+  [[nodiscard]] std::int32_t group_of(topo::NodeId n) const {
+    return group_.empty() ? 0 : group_[static_cast<std::size_t>(n)];
+  }
+  /// Group recovered from a LID value (the paper's q = lid/1000 trick);
+  /// 0 for the consecutive policy.
+  [[nodiscard]] std::int32_t group_of_lid(Lid lid) const {
+    return group_stride_ > 0 ? lid / group_stride_ : 0;
+  }
+  [[nodiscard]] Lid group_stride() const noexcept { return group_stride_; }
+
+  /// All assigned LIDs in increasing order (the routing iteration order).
+  [[nodiscard]] std::vector<Lid> all_lids() const;
+
+ private:
+  LidSpace() = default;
+  void build_reverse();
+
+  std::int32_t lmc_ = 0;
+  Lid max_lid_ = kInvalidLid;
+  Lid group_stride_ = 0;                 // 0: consecutive policy
+  std::vector<Lid> base_;                // per terminal
+  std::vector<std::int32_t> group_;      // per terminal (grouped only)
+  std::vector<topo::NodeId> lid_owner_;  // per lid, kInvalidNode if unassigned
+};
+
+}  // namespace hxsim::routing

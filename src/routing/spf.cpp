@@ -1,0 +1,173 @@
+#include "routing/spf.hpp"
+
+#include <queue>
+#include <tuple>
+
+namespace hxsim::routing {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double weight_of(std::span<const double> w, topo::ChannelId ch) {
+  return w.empty() ? 1.0 : w[static_cast<std::size_t>(ch)];
+}
+
+bool admitted(const topo::Topology& topo, const ChannelFilter& filter,
+              topo::ChannelId ch) {
+  if (!topo.channel(ch).enabled) return false;
+  return !filter || filter(ch);
+}
+
+/// Lexicographic path cost: InfiniBand static routing is *minimal* -- the
+/// hop count dominates, and the accumulated edge weights only arbitrate
+/// among equal-hop alternatives (OpenSM SSSP/DFSSSP semantics; the paper
+/// relies on this: "available static routing for IB will only calculate
+/// routes along the minimal paths", Section 3.2.1).
+struct Cost {
+  std::int32_t hops = 0;
+  double weight = 0.0;
+
+  friend bool operator<(const Cost& a, const Cost& b) {
+    if (a.hops != b.hops) return a.hops < b.hops;
+    return a.weight < b.weight;
+  }
+  friend bool operator==(const Cost& a, const Cost& b) {
+    return a.hops == b.hops && a.weight == b.weight;
+  }
+  friend bool operator>(const Cost& a, const Cost& b) { return b < a; }
+};
+
+constexpr Cost kUnreached{std::numeric_limits<std::int32_t>::max(), kInf};
+
+}  // namespace
+
+SpfResult spf_to(const topo::Topology& topo, topo::SwitchId dest_sw,
+                 std::span<const double> channel_weight,
+                 const ChannelFilter& filter) {
+  const auto n = static_cast<std::size_t>(topo.num_switches());
+  std::vector<Cost> cost(n, kUnreached);
+  SpfResult res;
+  res.out_channel.assign(n, topo::kInvalidChannel);
+  res.dist.assign(n, kInf);
+
+  using Entry = std::pair<Cost, topo::SwitchId>;
+  auto later = [](const Entry& a, const Entry& b) { return b.first < a.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(later)> pq(later);
+  cost[static_cast<std::size_t>(dest_sw)] = Cost{0, 0.0};
+  pq.emplace(Cost{0, 0.0}, dest_sw);
+
+  while (!pq.empty()) {
+    const auto [c, u] = pq.top();
+    pq.pop();
+    if (cost[static_cast<std::size_t>(u)] < c) continue;  // stale
+    // Relax the *reverse* of each out-channel of u: the forward channel
+    // v -> u extends v's path toward the destination.
+    for (topo::ChannelId out : topo.switch_out(u)) {
+      const topo::Channel& oc = topo.channel(out);
+      if (!oc.dst.is_switch()) continue;
+      const topo::ChannelId r = oc.reverse;  // v -> u
+      if (!admitted(topo, filter, r)) continue;
+      const auto v = static_cast<std::size_t>(oc.dst.index);
+      const Cost nc{c.hops + 1, c.weight + weight_of(channel_weight, r)};
+      if (nc < cost[v] ||
+          (nc == cost[v] && res.out_channel[v] != topo::kInvalidChannel &&
+           r < res.out_channel[v])) {
+        const bool improved = nc < cost[v];
+        cost[v] = nc;
+        res.out_channel[v] = r;
+        if (improved) pq.emplace(nc, oc.dst.index);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    if (!(cost[v] == kUnreached)) res.dist[v] = static_cast<double>(cost[v].hops);
+  return res;
+}
+
+SpfResult updown_spf_to(const topo::Topology& topo, topo::SwitchId dest_sw,
+                        std::span<const std::int32_t> rank,
+                        std::span<const double> channel_weight,
+                        const ChannelFilter& filter) {
+  const auto n = static_cast<std::size_t>(topo.num_switches());
+  // State 0: still inside the forward-down segment (walking backward from
+  // the destination); state 1: inside the forward-up segment.
+  std::vector<Cost> cost[2] = {std::vector<Cost>(n, kUnreached),
+                               std::vector<Cost>(n, kUnreached)};
+  std::vector<topo::ChannelId> parent[2] = {
+      std::vector<topo::ChannelId>(n, topo::kInvalidChannel),
+      std::vector<topo::ChannelId>(n, topo::kInvalidChannel)};
+
+  // Forward hop v->u is "up" iff it moves toward the roots.
+  auto forward_is_up = [&](topo::SwitchId v, topo::SwitchId u) {
+    const auto rv = rank[static_cast<std::size_t>(v)];
+    const auto ru = rank[static_cast<std::size_t>(u)];
+    if (ru != rv) return ru < rv;
+    return u < v;  // deterministic orientation for equal ranks
+  };
+
+  using Entry = std::tuple<Cost, std::int8_t, topo::SwitchId>;
+  auto later = [](const Entry& a, const Entry& b) {
+    return std::get<0>(b) < std::get<0>(a);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(later)> pq(later);
+  cost[0][static_cast<std::size_t>(dest_sw)] = Cost{0, 0.0};
+  pq.emplace(Cost{0, 0.0}, std::int8_t{0}, dest_sw);
+
+  while (!pq.empty()) {
+    const auto [c, state, u] = pq.top();
+    pq.pop();
+    if (cost[state][static_cast<std::size_t>(u)] < c) continue;
+    for (topo::ChannelId out : topo.switch_out(u)) {
+      const topo::Channel& oc = topo.channel(out);
+      if (!oc.dst.is_switch()) continue;
+      const topo::ChannelId r = oc.reverse;  // forward channel v -> u
+      if (!admitted(topo, filter, r)) continue;
+      const topo::SwitchId v = oc.dst.index;
+      const bool up_hop = forward_is_up(v, u);
+      std::int8_t next_state;
+      if (up_hop) {
+        next_state = 1;  // entering (or continuing) the forward-up segment
+      } else {
+        if (state != 0) continue;  // a down hop after up hops is illegal
+        next_state = 0;
+      }
+      const auto vi = static_cast<std::size_t>(v);
+      const Cost nc{c.hops + 1, c.weight + weight_of(channel_weight, r)};
+      auto& dvec = cost[next_state];
+      auto& pvec = parent[next_state];
+      if (nc < dvec[vi] ||
+          (nc == dvec[vi] && pvec[vi] != topo::kInvalidChannel &&
+           r < pvec[vi])) {
+        const bool improved = nc < dvec[vi];
+        dvec[vi] = nc;
+        pvec[vi] = r;
+        if (improved) pq.emplace(nc, next_state, v);
+      }
+    }
+  }
+
+  SpfResult res;
+  res.out_channel.assign(n, topo::kInvalidChannel);
+  res.dist.assign(n, kInf);
+  res.dist[static_cast<std::size_t>(dest_sw)] = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<topo::SwitchId>(v) == dest_sw) continue;
+    // Table-consistency rule: a switch that *can* reach the destination
+    // going only down must store that all-down path, even when an
+    // up-then-down path would be shorter.  Destination-based forwarding
+    // composes hop by hop: a predecessor that descends into this switch
+    // assumed an all-down suffix, and an up-turn here would create a
+    // down-up sequence -- illegal and (as the CDG test shows on irregular
+    // fabrics) a potential deadlock cycle.  Prefixing an up hop to *any*
+    // stored path is always legal, so state-1 switches may reference
+    // either kind of successor.
+    const std::int8_t best = !(cost[0][v] == kUnreached) ? 0 : 1;
+    if (cost[best][v] == kUnreached) continue;
+    res.dist[v] = static_cast<double>(cost[best][v].hops);
+    res.out_channel[v] = parent[best][v];
+  }
+  return res;
+}
+
+}  // namespace hxsim::routing

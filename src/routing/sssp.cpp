@@ -1,0 +1,45 @@
+#include "routing/sssp.hpp"
+
+#include "routing/spf.hpp"
+
+namespace hxsim::routing {
+
+RouteResult SsspEngine::compute(const topo::Topology& topo,
+                                const LidSpace& lids) {
+  RouteResult res;
+  res.tables = ForwardingTables(topo.num_switches(), lids.max_lid());
+  res.num_vls_used = 1;
+
+  // Channel weights accumulate the number of (source port, destination LID)
+  // paths already routed through each channel.  Weights start at 1 so hop
+  // count still dominates until load differentiates paths.
+  std::vector<double> weight(static_cast<std::size_t>(topo.num_channels()),
+                             1.0);
+
+  for (const Lid dlid : lids.all_lids()) {
+    const LidSpace::Owner owner = lids.owner(dlid);
+    const topo::SwitchId dest_sw = topo.attach_switch(owner.node);
+    const SpfResult tree = spf_to(topo, dest_sw, weight);
+    res.unreachable_entries +=
+        apply_tree_to_tables(topo, tree, owner.node, dlid, res.tables);
+
+    // Edge update: +#terminals(s) on every channel of s's path, i.e. +1
+    // per source port whose traffic to dlid crosses the channel.
+    for (topo::SwitchId s = 0; s < topo.num_switches(); ++s) {
+      if (s == dest_sw) continue;
+      const double paths =
+          static_cast<double>(topo.switch_terminals(s).size());
+      if (paths == 0.0 || !tree.reachable(s)) continue;
+      topo::SwitchId at = s;
+      while (at != dest_sw) {
+        const topo::ChannelId out =
+            tree.out_channel[static_cast<std::size_t>(at)];
+        weight[static_cast<std::size_t>(out)] += paths;
+        at = topo.channel(out).dst.index;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace hxsim::routing

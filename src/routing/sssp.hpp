@@ -1,0 +1,24 @@
+// OpenSM SSSP routing (Hoefler, Schneider, Lumsdaine [31 in the paper]).
+//
+// Globally balanced shortest-path routing: destinations are processed one
+// LID at a time; each destination gets a Dijkstra tree over the current
+// edge weights, and every path routed through a channel increments that
+// channel's weight, steering later destinations away from already-loaded
+// channels.  SSSP alone is *not* deadlock-free on non-tree topologies;
+// DfssspEngine layers its paths onto virtual lanes.
+#pragma once
+
+#include "routing/engine.hpp"
+
+namespace hxsim::routing {
+
+class SsspEngine : public RoutingEngine {
+ public:
+  SsspEngine() = default;
+
+  [[nodiscard]] std::string name() const override { return "sssp"; }
+  [[nodiscard]] RouteResult compute(const topo::Topology& topo,
+                                    const LidSpace& lids) override;
+};
+
+}  // namespace hxsim::routing

@@ -1,0 +1,59 @@
+#include "routing/updown.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "routing/spf.hpp"
+
+namespace hxsim::routing {
+
+RouteResult UpDownEngine::compute(const topo::Topology& topo,
+                                  const LidSpace& lids) {
+  topo::SwitchId root = root_;
+  if (root < 0) {
+    std::size_t best_degree = 0;
+    root = 0;
+    for (topo::SwitchId sw = 0; sw < topo.num_switches(); ++sw) {
+      const std::size_t degree = topo.switch_neighbors(sw).size();
+      if (degree > best_degree) {
+        best_degree = degree;
+        root = sw;
+      }
+    }
+  }
+  if (root >= topo.num_switches())
+    throw std::out_of_range("UpDownEngine: root out of range");
+
+  // BFS ranks over enabled switch links.
+  ranks_.assign(static_cast<std::size_t>(topo.num_switches()), -1);
+  std::deque<topo::SwitchId> queue{root};
+  ranks_[static_cast<std::size_t>(root)] = 0;
+  while (!queue.empty()) {
+    const topo::SwitchId sw = queue.front();
+    queue.pop_front();
+    for (topo::SwitchId nb : topo.switch_neighbors(sw)) {
+      auto& r = ranks_[static_cast<std::size_t>(nb)];
+      if (r < 0) {
+        r = ranks_[static_cast<std::size_t>(sw)] + 1;
+        queue.push_back(nb);
+      }
+    }
+  }
+  // Unreachable switches (disconnected fabrics) sink below everything.
+  for (auto& r : ranks_)
+    if (r < 0) r = topo.num_switches();
+
+  RouteResult res;
+  res.tables = ForwardingTables(topo.num_switches(), lids.max_lid());
+  res.num_vls_used = 1;
+  for (const Lid dlid : lids.all_lids()) {
+    const LidSpace::Owner owner = lids.owner(dlid);
+    const SpfResult tree =
+        updown_spf_to(topo, topo.attach_switch(owner.node), ranks_);
+    res.unreachable_entries +=
+        apply_tree_to_tables(topo, tree, owner.node, dlid, res.tables);
+  }
+  return res;
+}
+
+}  // namespace hxsim::routing

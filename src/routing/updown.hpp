@@ -1,0 +1,33 @@
+// Up*/Down* routing (Autonet [72 in the paper]) for arbitrary topologies.
+//
+// Switches are ranked by BFS depth from a root; a packet may only ascend
+// (toward the root) and then descend, which makes any fabric deadlock-free
+// on a single virtual lane at the price of concentrating traffic near the
+// root.  Serves as the topology-agnostic deadlock-free baseline the paper
+// mentions alongside DFSSSP/LASH/Nue.
+#pragma once
+
+#include "routing/engine.hpp"
+
+namespace hxsim::routing {
+
+class UpDownEngine final : public RoutingEngine {
+ public:
+  /// root < 0 selects the highest-degree switch (lowest id on ties).
+  explicit UpDownEngine(topo::SwitchId root = -1) : root_(root) {}
+
+  [[nodiscard]] std::string name() const override { return "updown"; }
+  [[nodiscard]] RouteResult compute(const topo::Topology& topo,
+                                    const LidSpace& lids) override;
+
+  /// BFS ranks used by the last compute() (exposed for tests).
+  [[nodiscard]] const std::vector<std::int32_t>& ranks() const noexcept {
+    return ranks_;
+  }
+
+ private:
+  topo::SwitchId root_;
+  std::vector<std::int32_t> ranks_;
+};
+
+}  // namespace hxsim::routing

@@ -1,0 +1,113 @@
+#include "sim/adaptive.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::sim {
+
+DalRouter::DalRouter(const topo::HyperX& hx, bool allow_deroute)
+    : hx_(&hx), allow_deroute_(allow_deroute) {
+  if (hx.num_dims() > 8)
+    throw std::invalid_argument("DalRouter: deroute mask supports <= 8 dims");
+  // Record each switch-to-switch channel's dimension for on_hop().
+  channel_dim_.assign(static_cast<std::size_t>(hx.topo().num_channels()), -1);
+  for (topo::SwitchId sw = 0; sw < hx.topo().num_switches(); ++sw) {
+    for (std::int8_t d = 0; d < hx.num_dims(); ++d) {
+      for (std::int32_t v = 0; v < hx.dim_size(d); ++v) {
+        const topo::ChannelId ch = hx.dim_channel(sw, d, v);
+        if (ch != topo::kInvalidChannel)
+          channel_dim_[static_cast<std::size_t>(ch)] = d;
+      }
+    }
+  }
+}
+
+void DalRouter::candidates(topo::SwitchId sw, topo::NodeId dst,
+                           AdaptiveState& state,
+                           std::vector<RouteCandidate>& out) const {
+  const topo::SwitchId target = hx_->topo().attach_switch(dst);
+  for (std::int8_t d = 0; d < hx_->num_dims(); ++d) {
+    const std::int32_t own = hx_->coord(sw, d);
+    const std::int32_t want = hx_->coord(target, d);
+    if (own == want) continue;  // dimension aligned
+
+    // Minimal: straight to the target coordinate.
+    const topo::ChannelId direct = hx_->dim_channel(sw, d, want);
+    if (direct != topo::kInvalidChannel &&
+        hx_->topo().channel(direct).enabled)
+      out.push_back(RouteCandidate{direct, true});
+
+    // Non-minimal: any other coordinate of this dimension, once per
+    // dimension (DAL's derouting rule).
+    if (!allow_deroute_ || (state.deroute_mask & (1U << d)) != 0) continue;
+    for (std::int32_t v = 0; v < hx_->dim_size(d); ++v) {
+      if (v == own || v == want) continue;
+      const topo::ChannelId ch = hx_->dim_channel(sw, d, v);
+      if (ch != topo::kInvalidChannel && hx_->topo().channel(ch).enabled)
+        out.push_back(RouteCandidate{ch, false});
+    }
+  }
+}
+
+void DalRouter::on_hop(const RouteCandidate& chosen,
+                       AdaptiveState& state) const {
+  ++state.hops_taken;
+  if (!chosen.minimal) {
+    const std::int8_t d =
+        channel_dim_[static_cast<std::size_t>(chosen.channel)];
+    state.deroute_mask |= static_cast<std::uint8_t>(1U << d);
+  }
+}
+
+std::int32_t DalRouter::max_hops() const {
+  // One minimal hop per dimension plus at most one deroute per dimension.
+  return hx_->num_dims() * (allow_deroute_ ? 2 : 1);
+}
+
+ValiantRouter::ValiantRouter(const topo::HyperX& hx, std::uint64_t seed)
+    : hx_(&hx), rng_(seed) {}
+
+void ValiantRouter::minimal_toward(topo::SwitchId sw, topo::SwitchId target,
+                                   std::vector<RouteCandidate>& out) const {
+  for (std::int8_t d = 0; d < hx_->num_dims(); ++d) {
+    const std::int32_t own = hx_->coord(sw, d);
+    const std::int32_t want = hx_->coord(target, d);
+    if (own == want) continue;
+    const topo::ChannelId ch = hx_->dim_channel(sw, d, want);
+    if (ch != topo::kInvalidChannel && hx_->topo().channel(ch).enabled)
+      out.push_back(RouteCandidate{ch, true});
+  }
+}
+
+void ValiantRouter::candidates(topo::SwitchId sw, topo::NodeId dst,
+                               AdaptiveState& state,
+                               std::vector<RouteCandidate>& out) const {
+  constexpr std::int32_t kPhaseTwo = -2;
+  if (state.scratch == -1) {
+    // First switch: draw the intermediate uniformly over all switches.
+    state.scratch = static_cast<std::int32_t>(rng_.next_below(
+        static_cast<std::uint64_t>(hx_->topo().num_switches())));
+  }
+  if (state.scratch >= 0 && state.scratch == sw)
+    state.scratch = kPhaseTwo;  // reached the intermediate
+  const topo::SwitchId target =
+      state.scratch >= 0 ? state.scratch : hx_->topo().attach_switch(dst);
+  minimal_toward(sw, target, out);
+  if (out.empty() && state.scratch >= 0) {
+    // The intermediate became unreachable (faults): fall through to the
+    // destination phase.
+    state.scratch = kPhaseTwo;
+    minimal_toward(sw, hx_->topo().attach_switch(dst), out);
+  }
+}
+
+void ValiantRouter::on_hop(const RouteCandidate& /*chosen*/,
+                           AdaptiveState& state) const {
+  ++state.hops_taken;
+}
+
+std::int32_t ValiantRouter::max_hops() const {
+  // Two minimal segments of at most num_dims hops each.
+  return 2 * hx_->num_dims();
+}
+
+}  // namespace hxsim::sim

@@ -1,0 +1,130 @@
+// Per-hop adaptive routing for the packet simulator.
+//
+// The paper could not evaluate adaptive routing -- its QDR InfiniBand only
+// forwards by static destination tables -- and names that the HyperX's
+// missing piece: "The realistic choice for HyperX are adaptive routings,
+// such as Valiant's algorithm (VAL) or UGAL, or the Dimensionally-Adaptive,
+// Load-balanced (DAL) algorithm" (Section 6), and "future HyperX
+// deployments use AR, making our static routing prototype obsolete"
+// (footnote 3).  This module supplies that future-work piece in simulation:
+//
+//  - AdaptiveRouter: a per-hop candidate provider; the switch picks the
+//    candidate with credits available and the shortest output queue
+//    (congestion-look-ahead, as adaptive switches do);
+//  - DalRouter: DAL for HyperX (Ahn et al.) -- per dimension, a packet may
+//    take one non-minimal "deroute" hop when the minimal channel is
+//    congested, at most one deroute per dimension;
+//  - MinimalAdaptiveRouter: chooses adaptively among the minimal
+//    dimension orders only (the UGAL-L "minimal" arm).
+//
+// Deadlock freedom uses VL escalation: a packet entering hop h travels on
+// VL h.  Dependencies then only point from lower to higher VLs, so every
+// lane's channel dependency graph is trivially acyclic; the longest DAL
+// path in a 2-D HyperX is 4 hops, well within the 8 QDR lanes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "topo/hyperx.hpp"
+#include "topo/topology.hpp"
+
+namespace hxsim::sim {
+
+/// One routing option at a switch.
+struct RouteCandidate {
+  topo::ChannelId channel = topo::kInvalidChannel;
+  /// True if the hop reduces the remaining distance (minimal direction).
+  bool minimal = true;
+};
+
+/// Per-packet adaptive routing state carried across hops.
+struct AdaptiveState {
+  std::int8_t hops_taken = 0;
+  /// Bit d set: the packet has already derouted in dimension d.
+  std::uint8_t deroute_mask = 0;
+  /// Router-private scratch (e.g. Valiant's intermediate switch).
+  std::int32_t scratch = -1;
+};
+
+class AdaptiveRouter {
+ public:
+  virtual ~AdaptiveRouter() = default;
+  AdaptiveRouter() = default;
+  AdaptiveRouter(const AdaptiveRouter&) = delete;
+  AdaptiveRouter& operator=(const AdaptiveRouter&) = delete;
+
+  /// Appends the admissible out-channels at `sw` for a packet destined to
+  /// terminal `dst`.  Never called when dst is attached to `sw` (ejection
+  /// is unconditional).  `state` is the packet's history; routers may use
+  /// its scratch field for per-packet decisions (e.g. VAL's intermediate).
+  virtual void candidates(topo::SwitchId sw, topo::NodeId dst,
+                          AdaptiveState& state,
+                          std::vector<RouteCandidate>& out) const = 0;
+
+  /// Called when a candidate was chosen; updates the packet state.
+  virtual void on_hop(const RouteCandidate& chosen,
+                      AdaptiveState& state) const = 0;
+
+  /// Upper bound on hops (for VL escalation); must be <= available VLs.
+  [[nodiscard]] virtual std::int32_t max_hops() const = 0;
+};
+
+/// DAL (Dimensionally-Adaptive, Load-balanced) for an n-D HyperX.
+/// Minimal candidates: the direct channel in every unaligned dimension.
+/// Non-minimal candidates: any other channel of an unaligned dimension the
+/// packet has not derouted in yet; after a deroute the dimension still
+/// needs its minimal hop, so path length grows by one per deroute.
+class DalRouter final : public AdaptiveRouter {
+ public:
+  /// The HyperX must outlive the router.  allow_deroute=false degrades
+  /// DAL to minimal-adaptive (the ablation arm).
+  explicit DalRouter(const topo::HyperX& hx, bool allow_deroute = true);
+
+  void candidates(topo::SwitchId sw, topo::NodeId dst,
+                  AdaptiveState& state,
+                  std::vector<RouteCandidate>& out) const override;
+  void on_hop(const RouteCandidate& chosen,
+              AdaptiveState& state) const override;
+  [[nodiscard]] std::int32_t max_hops() const override;
+
+ private:
+  const topo::HyperX* hx_;
+  bool allow_deroute_;
+  /// channel -> (dimension, minimal per destination is dynamic); we keep
+  /// the dimension of every switch-to-switch channel for on_hop().
+  std::vector<std::int8_t> channel_dim_;
+};
+
+/// Minimal-adaptive router: DAL without the deroute arm.
+[[nodiscard]] inline DalRouter make_minimal_adaptive(const topo::HyperX& hx) {
+  return DalRouter(hx, /*allow_deroute=*/false);
+}
+
+/// Valiant's algorithm (VAL): every packet routes minimally to a uniformly
+/// random intermediate switch, then minimally to the destination.  The
+/// classic worst-case-oblivious load balancer the paper lists next to UGAL
+/// and DAL -- it converts any traffic pattern into two uniform-random
+/// phases at the price of doubling the average path length.
+class ValiantRouter final : public AdaptiveRouter {
+ public:
+  explicit ValiantRouter(const topo::HyperX& hx, std::uint64_t seed = 1);
+
+  void candidates(topo::SwitchId sw, topo::NodeId dst,
+                  AdaptiveState& state,
+                  std::vector<RouteCandidate>& out) const override;
+  void on_hop(const RouteCandidate& chosen,
+              AdaptiveState& state) const override;
+  [[nodiscard]] std::int32_t max_hops() const override;
+
+ private:
+  /// Minimal candidates from `sw` toward `target` (per unaligned dim).
+  void minimal_toward(topo::SwitchId sw, topo::SwitchId target,
+                      std::vector<RouteCandidate>& out) const;
+
+  const topo::HyperX* hx_;
+  mutable stats::Rng rng_;  // per-packet intermediate draws
+};
+
+}  // namespace hxsim::sim

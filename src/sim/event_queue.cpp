@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hxsim::sim {
+
+void EventQueue::schedule(double when, Callback cb) {
+  if (when < now_)
+    throw std::invalid_argument("EventQueue::schedule: event in the past");
+  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (cheap: std::function) and pop.
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.when;
+  e.cb();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && run_one()) ++count;
+  return count;
+}
+
+}  // namespace hxsim::sim

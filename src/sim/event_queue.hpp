@@ -1,0 +1,52 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Events at equal timestamps run in scheduling order (a monotone sequence
+// number breaks ties), which keeps simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hxsim::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `when` (must be >= now()).
+  void schedule(double when, Callback cb);
+
+  /// Convenience: schedule at now() + delay.
+  void schedule_in(double delay, Callback cb) { schedule(now_ + delay, std::move(cb)); }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Pops and runs the earliest event; returns false when idle.
+  bool run_one();
+
+  /// Runs until the queue drains or `max_events` fire; returns events run.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hxsim::sim

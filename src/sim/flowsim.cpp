@@ -1,0 +1,185 @@
+#include "sim/flowsim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hxsim::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+FlowSim::FlowSim(const topo::Topology& topo, LinkModel link)
+    : topo_(&topo),
+      link_(link),
+      capacity_(static_cast<std::size_t>(topo.num_channels()),
+                link.bandwidth) {}
+
+void FlowSim::set_capacity(topo::ChannelId ch, double bytes_per_s) {
+  if (bytes_per_s <= 0.0)
+    throw std::invalid_argument("FlowSim::set_capacity: non-positive");
+  capacity_.at(static_cast<std::size_t>(ch)) = bytes_per_s;
+}
+
+void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
+                    std::span<double> rate) const {
+  // Progressive filling: all unfrozen flows share one common rate level
+  // that rises until some channel saturates; flows crossing a saturated
+  // channel freeze at the level, and the level keeps rising for the rest.
+  //
+  // Only channels actually crossed by an active flow matter, so the state
+  // is kept compact (full-fabric channel vectors would dominate the cost
+  // on large fat-trees).
+  std::vector<std::int32_t> local_of(capacity_.size(), -1);
+  std::vector<topo::ChannelId> used;
+  std::vector<char> frozen(flows.size(), 0);
+
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!active[f]) continue;
+    if (flows[f].channels.empty()) {
+      rate[f] = kInf;  // self-send: no network resource consumed
+      continue;
+    }
+    ++remaining;
+    for (topo::ChannelId ch : flows[f].channels) {
+      auto& idx = local_of[static_cast<std::size_t>(ch)];
+      if (idx < 0) {
+        idx = static_cast<std::int32_t>(used.size());
+        used.push_back(ch);
+      }
+    }
+  }
+
+  const std::size_t nused = used.size();
+  std::vector<double> frozen_load(nused, 0.0);
+  std::vector<std::int32_t> unfrozen_count(nused, 0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!active[f] || flows[f].channels.empty()) continue;
+    for (topo::ChannelId ch : flows[f].channels)
+      ++unfrozen_count[static_cast<std::size_t>(
+          local_of[static_cast<std::size_t>(ch)])];
+  }
+
+  std::vector<char> saturated(nused, 0);
+  while (remaining > 0) {
+    // The common level can rise to min over loaded channels of
+    // (capacity - frozen_load) / unfrozen_count.
+    double level = kInf;
+    for (std::size_t c = 0; c < nused; ++c) {
+      if (unfrozen_count[c] == 0) continue;
+      const double cap = std::max(
+          0.0, capacity_[static_cast<std::size_t>(used[c])] - frozen_load[c]);
+      level = std::min(level, cap / unfrozen_count[c]);
+    }
+    if (level == kInf) break;  // defensive: no loaded channel left
+
+    // Freeze every unfrozen flow that crosses a (now) saturated channel.
+    for (std::size_t c = 0; c < nused; ++c) {
+      saturated[c] = 0;
+      if (unfrozen_count[c] == 0) continue;
+      const double cap = std::max(
+          0.0, capacity_[static_cast<std::size_t>(used[c])] - frozen_load[c]);
+      if (cap / unfrozen_count[c] <= level * (1.0 + 1e-12)) saturated[c] = 1;
+    }
+    bool froze_any = false;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!active[f] || frozen[f] || flows[f].channels.empty()) continue;
+      bool hit = false;
+      for (topo::ChannelId ch : flows[f].channels) {
+        if (saturated[static_cast<std::size_t>(
+                local_of[static_cast<std::size_t>(ch)])]) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
+      frozen[f] = 1;
+      froze_any = true;
+      rate[f] = level;
+      --remaining;
+      for (topo::ChannelId ch : flows[f].channels) {
+        const auto c = static_cast<std::size_t>(
+            local_of[static_cast<std::size_t>(ch)]);
+        --unfrozen_count[c];
+        frozen_load[c] += level;
+      }
+    }
+    if (!froze_any) {
+      // Numerical guard: freeze everything at the current level.
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (!active[f] || frozen[f] || flows[f].channels.empty()) continue;
+        frozen[f] = 1;
+        rate[f] = level;
+      }
+      remaining = 0;
+    }
+  }
+}
+
+std::vector<double> FlowSim::fair_rates(std::span<const Flow> flows) const {
+  std::vector<double> rate(flows.size(), 0.0);
+  std::vector<char> active(flows.size(), 1);
+  solve(flows, active, rate);
+  return rate;
+}
+
+std::vector<double> FlowSim::completion_times(
+    std::span<const Flow> flows) const {
+  std::vector<double> done(flows.size(), 0.0);
+  std::vector<double> remaining_bytes(flows.size());
+  std::vector<char> active(flows.size(), 0);
+  std::size_t live = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    remaining_bytes[f] = static_cast<double>(flows[f].bytes);
+    if (flows[f].bytes > 0 && !flows[f].channels.empty()) {
+      active[f] = 1;
+      ++live;
+    }
+  }
+
+  double now = 0.0;
+  std::vector<double> rate(flows.size(), 0.0);
+  while (live > 0) {
+    std::fill(rate.begin(), rate.end(), 0.0);
+    solve(flows, active, rate);
+
+    // Advance to the earliest completion under the current allocation.
+    double dt = kInf;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!active[f]) continue;
+      if (rate[f] <= 0.0) continue;  // fully starved (cannot happen normally)
+      dt = std::min(dt, remaining_bytes[f] / rate[f]);
+    }
+    if (dt == kInf)
+      throw std::runtime_error("FlowSim: starved flows cannot complete");
+
+    now += dt;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!active[f]) continue;
+      remaining_bytes[f] -= rate[f] * dt;
+      if (remaining_bytes[f] <= 1e-6) {  // sub-byte residue: complete
+        active[f] = 0;
+        done[f] = now;
+        --live;
+      }
+    }
+  }
+  return done;
+}
+
+std::vector<double> FlowSim::channel_utilisation(
+    std::span<const Flow> flows) const {
+  const std::vector<double> rate = fair_rates(flows);
+  std::vector<double> load(capacity_.size(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (flows[f].channels.empty()) continue;
+    for (topo::ChannelId ch : flows[f].channels)
+      load[static_cast<std::size_t>(ch)] += rate[f];
+  }
+  for (std::size_t ch = 0; ch < load.size(); ++ch) load[ch] /= capacity_[ch];
+  return load;
+}
+
+}  // namespace hxsim::sim

@@ -1,0 +1,62 @@
+// Max-min fair flow-level network simulator.
+//
+// Statically routed InfiniBand traffic under sustained load converges to a
+// per-link fair share; FlowSim computes the exact max-min allocation by
+// progressive filling and advances the flow set through completion events,
+// yielding per-flow completion times.  This is the engine behind the
+// bandwidth-dominated experiments (Figure 1 heatmaps, eBB, large-message
+// collectives): congestion arises purely from routed paths sharing
+// channels, which is the effect the paper studies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/link_model.hpp"
+#include "topo/topology.hpp"
+
+namespace hxsim::sim {
+
+struct Flow {
+  /// Channels traversed in order (terminal and switch channels alike share
+  /// capacity).  An empty path completes instantly (self-send).
+  std::vector<topo::ChannelId> channels;
+  std::int64_t bytes = 0;
+};
+
+class FlowSim {
+ public:
+  explicit FlowSim(const topo::Topology& topo, LinkModel link = {});
+
+  /// Override one channel's capacity [bytes/s].
+  void set_capacity(topo::ChannelId ch, double bytes_per_s);
+
+  [[nodiscard]] const LinkModel& link() const noexcept { return link_; }
+
+  /// Steady-state max-min fair rates [bytes/s] for the given flow set
+  /// (bytes fields are ignored; zero-length paths get +inf).
+  [[nodiscard]] std::vector<double> fair_rates(
+      std::span<const Flow> flows) const;
+
+  /// Completion time of each flow when all start at t = 0 and rates are
+  /// re-allocated max-min fairly whenever a flow finishes.
+  [[nodiscard]] std::vector<double> completion_times(
+      std::span<const Flow> flows) const;
+
+  /// Utilisation [0, 1] per channel under the steady-state allocation
+  /// (diagnostics; same flow-set semantics as fair_rates).
+  [[nodiscard]] std::vector<double> channel_utilisation(
+      std::span<const Flow> flows) const;
+
+ private:
+  /// Max-min over a subset of flows (active[i] selects), writing rates.
+  void solve(std::span<const Flow> flows, std::span<const char> active,
+             std::span<double> rate) const;
+
+  const topo::Topology* topo_;
+  LinkModel link_;
+  std::vector<double> capacity_;
+};
+
+}  // namespace hxsim::sim

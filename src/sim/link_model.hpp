@@ -1,0 +1,29 @@
+// Link and switch timing constants for the QDR InfiniBand substrate.
+//
+// QDR 4X signals at 40 Gb/s; 8b/10b coding leaves 32 Gb/s of data rate, and
+// transport/framing overhead brings the observable payload bandwidth to
+// ~3 GiB/s -- consistent with the 0-3 GiB/s scale of the paper's Figure 1
+// heatmaps.  Per-hop latency bundles the switch crossing (~100 ns on the
+// Voltaire gear) with wire propagation.
+#pragma once
+
+#include <cstdint>
+
+namespace hxsim::sim {
+
+struct LinkModel {
+  /// Effective payload bandwidth per channel direction [bytes/s].
+  double bandwidth = 3.2e9;
+  /// Per switch-hop latency (switch crossing + cable) [s].
+  double hop_latency = 140e-9;
+  /// Maximum transfer unit for packet segmentation [bytes].
+  std::int32_t mtu = 2048;
+};
+
+/// Serialization time of `bytes` on one channel.
+[[nodiscard]] constexpr double serialization_time(const LinkModel& link,
+                                                  std::int64_t bytes) noexcept {
+  return static_cast<double>(bytes) / link.bandwidth;
+}
+
+}  // namespace hxsim::sim

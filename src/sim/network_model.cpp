@@ -1,0 +1,40 @@
+#include "sim/network_model.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::sim {
+
+FlowModel::FlowModel(const topo::Topology& topo, LinkModel link)
+    : flows_(topo, link) {}
+
+std::vector<double> FlowModel::run(std::span<const NetMessage> messages) {
+  std::vector<Flow> flows;
+  flows.reserve(messages.size());
+  for (const NetMessage& m : messages)
+    flows.push_back(Flow{m.path, m.bytes});
+  std::vector<double> done = flows_.completion_times(flows);
+  // Add pipeline latency: the tail of the flow arrives one path traversal
+  // after the last byte left the source.
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const auto hops = static_cast<double>(messages[i].path.size());
+    done[i] += hops * flows_.link().hop_latency;
+  }
+  return done;
+}
+
+PacketModel::PacketModel(const topo::Topology& topo, PktSimConfig config)
+    : topo_(&topo), config_(config) {}
+
+std::vector<double> PacketModel::run(std::span<const NetMessage> messages) {
+  std::vector<PktMessage> pkts;
+  pkts.reserve(messages.size());
+  for (const NetMessage& m : messages)
+    pkts.push_back(PktMessage{m.src, m.dst, m.bytes, m.path, m.vl, 0.0});
+  PktSim sim(*topo_, config_);
+  PktSim::Result result = sim.run(pkts);
+  if (result.deadlock)
+    throw std::runtime_error("PacketModel: routing deadlock detected");
+  return std::move(result.completion);
+}
+
+}  // namespace hxsim::sim

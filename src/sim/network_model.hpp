@@ -1,0 +1,78 @@
+// NetworkModel: the facade the MPI layer drives.
+//
+// A transport round is a set of routed messages that start simultaneously;
+// the model returns each message's network completion time (software
+// overheads are the MPI layer's business).  Two implementations:
+//  - FlowModel: max-min fluid bandwidth sharing + per-hop latency; exact
+//    for the bandwidth-dominated regime and very fast.
+//  - PacketModel: full packet simulation (VLs, credits, arbitration);
+//    captures latency effects and deadlocks, slower.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/flowsim.hpp"
+#include "sim/pktsim.hpp"
+#include "topo/topology.hpp"
+
+namespace hxsim::sim {
+
+struct NetMessage {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  std::int64_t bytes = 0;
+  /// Routed path (terminal-up ... switch-terminal); empty for self-sends.
+  std::vector<topo::ChannelId> path;
+  std::int8_t vl = 0;
+};
+
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+  NetworkModel() = default;
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  /// Completion time [s] per message, all starting at t = 0.
+  [[nodiscard]] virtual std::vector<double> run(
+      std::span<const NetMessage> messages) = 0;
+
+  [[nodiscard]] virtual const LinkModel& link() const = 0;
+};
+
+class FlowModel final : public NetworkModel {
+ public:
+  explicit FlowModel(const topo::Topology& topo, LinkModel link = {});
+
+  [[nodiscard]] std::vector<double> run(
+      std::span<const NetMessage> messages) override;
+  [[nodiscard]] const LinkModel& link() const override {
+    return flows_.link();
+  }
+
+  [[nodiscard]] FlowSim& flow_sim() noexcept { return flows_; }
+
+ private:
+  FlowSim flows_;
+};
+
+class PacketModel final : public NetworkModel {
+ public:
+  explicit PacketModel(const topo::Topology& topo, PktSimConfig config = {});
+
+  /// Throws std::runtime_error on deadlock (callers wanting to *observe*
+  /// deadlocks use PktSim directly).
+  [[nodiscard]] std::vector<double> run(
+      std::span<const NetMessage> messages) override;
+  [[nodiscard]] const LinkModel& link() const override {
+    return config_.link;
+  }
+
+ private:
+  const topo::Topology* topo_;
+  PktSimConfig config_;
+};
+
+}  // namespace hxsim::sim

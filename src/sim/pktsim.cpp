@@ -1,0 +1,261 @@
+#include "sim/pktsim.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace hxsim::sim {
+
+namespace {
+
+struct Packet {
+  std::int32_t msg = -1;
+  std::int32_t size = 0;  // bytes in this segment
+  std::int32_t hop = 0;   // index into the message path (static routing)
+  std::int8_t vl = 0;
+  bool adaptive = false;
+  /// Channel whose downstream buffer the packet currently occupies (credit
+  /// held), and the VL it was crossed on.
+  topo::ChannelId held = topo::kInvalidChannel;
+  std::int8_t held_vl = 0;
+  AdaptiveState astate;
+};
+
+struct ChannelState {
+  bool busy = false;
+  std::int32_t rr_next = 0;                     // VL arbitration pointer
+  std::vector<std::deque<std::int32_t>> queue;  // per VL: waiting packets
+  std::vector<std::int32_t> credits;            // per VL: downstream slots
+  bool downstream_is_switch = false;
+
+  [[nodiscard]] std::int32_t occupancy(std::int8_t vl) const {
+    return static_cast<std::int32_t>(queue[static_cast<std::size_t>(vl)]
+                                         .size()) +
+           (busy ? 1 : 0);
+  }
+};
+
+class Engine {
+ public:
+  Engine(const topo::Topology& topo, const PktSimConfig& config,
+         std::span<const PktMessage> messages)
+      : topo_(topo), config_(config), messages_(messages) {
+    channels_.resize(static_cast<std::size_t>(topo.num_channels()));
+    for (topo::ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
+      ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+      st.queue.resize(static_cast<std::size_t>(config.num_vls));
+      st.downstream_is_switch = topo.channel(ch).dst.is_switch();
+      st.credits.assign(static_cast<std::size_t>(config.num_vls),
+                        st.downstream_is_switch ? config.vc_buffer_packets
+                                                : 0 /* unused */);
+    }
+
+    result_.completion.assign(messages.size(),
+                              std::numeric_limits<double>::quiet_NaN());
+    remaining_packets_.assign(messages.size(), 0);
+
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      const PktMessage& msg = messages[m];
+      if (msg.vl < 0 || msg.vl >= config.num_vls)
+        throw std::invalid_argument("PktSim: message VL out of range");
+      const bool adaptive = msg.path.empty() && msg.src != msg.dst;
+      if (adaptive && config_.adaptive == nullptr)
+        throw std::invalid_argument(
+            "PktSim: path-less message without an adaptive router");
+      if (msg.path.empty() && msg.src == msg.dst) {
+        result_.completion[m] = msg.inject_time;  // self-send
+        continue;
+      }
+      const std::int64_t segments =
+          std::max<std::int64_t>(1, (msg.bytes + config.link.mtu - 1) /
+                                        config.link.mtu);
+      remaining_packets_[m] = segments;
+      result_.packets_total += segments;
+      events_.schedule(msg.inject_time, [this, m] { inject(m); });
+    }
+  }
+
+  PktSim::Result run(std::size_t max_events) {
+    events_.run(max_events);
+    result_.end_time = events_.now();
+    result_.deadlock =
+        events_.empty() && result_.packets_delivered < result_.packets_total;
+    return std::move(result_);
+  }
+
+ private:
+  void inject(std::size_t m) {
+    const PktMessage& msg = messages_[m];
+    const bool adaptive = msg.path.empty();
+    const topo::ChannelId first =
+        adaptive ? topo_.terminal_up(msg.src) : msg.path[0];
+    std::int64_t left = std::max<std::int64_t>(msg.bytes, 1);
+    while (left > 0) {
+      const auto seg = static_cast<std::int32_t>(
+          std::min<std::int64_t>(left, config_.link.mtu));
+      left -= seg;
+      const auto pkt = static_cast<std::int32_t>(packets_.size());
+      Packet p;
+      p.msg = static_cast<std::int32_t>(m);
+      p.size = seg;
+      p.vl = adaptive ? 0 : msg.vl;
+      p.adaptive = adaptive;
+      packets_.push_back(p);
+      enqueue(first, pkt);
+    }
+    try_start(first);
+  }
+
+  void enqueue(topo::ChannelId ch, std::int32_t pkt) {
+    channels_[static_cast<std::size_t>(ch)]
+        .queue[static_cast<std::size_t>(
+            packets_[static_cast<std::size_t>(pkt)].vl)]
+        .push_back(pkt);
+  }
+
+  /// Round-robin arbitration: start the next eligible packet on `ch`.
+  void try_start(topo::ChannelId ch) {
+    ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+    if (st.busy) return;
+    const std::int32_t vls = config_.num_vls;
+    for (std::int32_t i = 0; i < vls; ++i) {
+      const std::int32_t vl = (st.rr_next + i) % vls;
+      auto& q = st.queue[static_cast<std::size_t>(vl)];
+      if (q.empty()) continue;
+      if (st.downstream_is_switch &&
+          st.credits[static_cast<std::size_t>(vl)] <= 0)
+        continue;  // head blocked on credits; try another VL
+      const std::int32_t pkt = q.front();
+      q.pop_front();
+      st.rr_next = (vl + 1) % vls;
+      start_crossing(ch, pkt);
+      return;
+    }
+  }
+
+  void start_crossing(topo::ChannelId ch, std::int32_t pkt) {
+    ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+    Packet& p = packets_[static_cast<std::size_t>(pkt)];
+
+    if (st.downstream_is_switch)
+      --st.credits[static_cast<std::size_t>(p.vl)];
+
+    // Starting to cross vacates the upstream input buffer: return the
+    // held credit and wake that channel's arbiter.
+    if (p.held != topo::kInvalidChannel) {
+      ChannelState& hst = channels_[static_cast<std::size_t>(p.held)];
+      if (hst.downstream_is_switch) {
+        ++hst.credits[static_cast<std::size_t>(p.held_vl)];
+        try_start(p.held);
+      }
+    }
+    p.held = ch;
+    p.held_vl = p.vl;
+
+    st.busy = true;
+    const double ser = serialization_time(config_.link, p.size);
+    events_.schedule_in(ser, [this, ch] {
+      channels_[static_cast<std::size_t>(ch)].busy = false;
+      try_start(ch);
+    });
+    events_.schedule_in(ser + config_.link.hop_latency,
+                        [this, ch, pkt] { arrive(ch, pkt); });
+  }
+
+  /// Picks the adaptive candidate with the lowest congestion score:
+  /// output occupancy on the packet's next VL, plus the deroute penalty
+  /// for non-minimal hops, plus a large penalty when no credit is
+  /// immediately available.
+  topo::ChannelId choose_adaptive(topo::SwitchId sw, Packet& p) {
+    const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
+    scratch_candidates_.clear();
+    config_.adaptive->candidates(sw, msg.dst, p.astate, scratch_candidates_);
+    if (scratch_candidates_.empty())
+      throw std::runtime_error("PktSim: adaptive router returned no route");
+
+    const auto vl = static_cast<std::int8_t>(std::min<std::int32_t>(
+        p.astate.hops_taken, config_.num_vls - 1));
+    const RouteCandidate* best = nullptr;
+    std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
+    for (const RouteCandidate& cand : scratch_candidates_) {
+      const ChannelState& st =
+          channels_[static_cast<std::size_t>(cand.channel)];
+      std::int64_t score = st.occupancy(vl);
+      if (!cand.minimal) score += config_.deroute_penalty;
+      if (st.downstream_is_switch &&
+          st.credits[static_cast<std::size_t>(vl)] <= 0)
+        score += 1000;
+      if (score < best_score ||
+          (score == best_score && best && cand.channel < best->channel)) {
+        best_score = score;
+        best = &cand;
+      }
+    }
+    p.vl = vl;
+    config_.adaptive->on_hop(*best, p.astate);
+    return best->channel;
+  }
+
+  void arrive(topo::ChannelId ch, std::int32_t pkt) {
+    Packet& p = packets_[static_cast<std::size_t>(pkt)];
+    const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
+    const topo::Channel& c = topo_.channel(ch);
+
+    if (c.dst.is_terminal()) {
+      ++result_.packets_delivered;
+      auto& left = remaining_packets_[static_cast<std::size_t>(p.msg)];
+      if (--left == 0)
+        result_.completion[static_cast<std::size_t>(p.msg)] = events_.now();
+      return;
+    }
+
+    const topo::SwitchId sw = c.dst.index;
+    topo::ChannelId next;
+    if (p.adaptive) {
+      if (sw == topo_.attach_switch(msg.dst)) {
+        next = topo_.terminal_down(msg.dst);
+      } else {
+        next = choose_adaptive(sw, p);
+      }
+    } else {
+      ++p.hop;
+      next = msg.path[static_cast<std::size_t>(p.hop)];
+    }
+    enqueue(next, pkt);
+    try_start(next);
+  }
+
+  const topo::Topology& topo_;
+  PktSimConfig config_;
+  std::span<const PktMessage> messages_;
+  EventQueue events_;
+  std::vector<Packet> packets_;
+  std::vector<ChannelState> channels_;
+  std::vector<std::int64_t> remaining_packets_;
+  std::vector<RouteCandidate> scratch_candidates_;
+  PktSim::Result result_;
+};
+
+}  // namespace
+
+PktSim::PktSim(const topo::Topology& topo, PktSimConfig config)
+    : topo_(&topo), config_(config) {
+  if (config.num_vls < 1 || config.num_vls > 15)
+    throw std::invalid_argument("PktSim: num_vls out of range");
+  if (config.vc_buffer_packets < 1)
+    throw std::invalid_argument("PktSim: need at least one buffer slot");
+  if (config.adaptive != nullptr &&
+      config.adaptive->max_hops() > config.num_vls)
+    throw std::invalid_argument(
+        "PktSim: adaptive max_hops exceeds the VL budget (escalation "
+        "would not be deadlock-free)");
+}
+
+PktSim::Result PktSim::run(std::span<const PktMessage> messages,
+                           std::size_t max_events) {
+  Engine engine(*topo_, config_, messages);
+  return engine.run(max_events);
+}
+
+}  // namespace hxsim::sim

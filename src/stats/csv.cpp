@@ -1,0 +1,49 @@
+#include "stats/csv.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::stats {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_line(header);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (closed_) throw std::runtime_error("CsvWriter: writer is closed");
+  if (cells.size() != columns_)
+    throw std::runtime_error("CsvWriter: row width mismatch");
+  write_line(cells);
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  out_.flush();
+  out_.close();
+  closed_ = true;
+}
+
+}  // namespace hxsim::stats

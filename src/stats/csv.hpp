@@ -1,0 +1,36 @@
+// Minimal CSV writer for bench data export.
+//
+// Benches print human tables to stdout and, when given an output path, also
+// dump machine-readable CSV so plots can be regenerated.  Quoting follows
+// RFC 4180: fields containing comma, quote, or newline are quoted and inner
+// quotes doubled.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hxsim::stats {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; further add_row calls throw.
+  void close();
+
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  bool closed_ = false;
+};
+
+}  // namespace hxsim::stats

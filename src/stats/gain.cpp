@@ -1,0 +1,33 @@
+#include "stats/gain.hpp"
+
+#include <cmath>
+
+#include "stats/units.hpp"
+
+namespace hxsim::stats {
+
+double relative_gain(double baseline, double candidate, Direction direction) {
+  const bool base_failed = !std::isfinite(baseline) || baseline <= 0.0;
+  const bool cand_failed = !std::isfinite(candidate) || candidate <= 0.0;
+  // For lower-is-better a failed run behaves like infinite time; for
+  // higher-is-better like zero throughput.  Either way the comparison
+  // degenerates to +/-Inf exactly as in the paper's Figure 4/5 annotations.
+  if (base_failed && cand_failed) return 0.0;
+  if (direction == Direction::kLowerIsBetter) {
+    if (cand_failed) return -std::numeric_limits<double>::infinity();
+    if (base_failed) return std::numeric_limits<double>::infinity();
+    return baseline / candidate - 1.0;
+  }
+  if (cand_failed) return -std::numeric_limits<double>::infinity();
+  if (base_failed) return std::numeric_limits<double>::infinity();
+  return candidate / baseline - 1.0;
+}
+
+std::string format_gain(double gain, int decimals) {
+  if (std::isinf(gain)) return gain > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(gain)) return "n/a";
+  const std::string body = format_fixed(std::fabs(gain), decimals);
+  return (gain < 0 ? "-" : "+") + body;
+}
+
+}  // namespace hxsim::stats

@@ -1,0 +1,36 @@
+// Relative performance gain as defined by the paper (after Hoefler & Belli).
+//
+// Figure 4 annotates every cell with the gain of a configuration over the
+// "Fat-Tree / ftree / linear" baseline.  For lower-is-better metrics
+// (latency, runtime) a positive gain means the candidate is faster; for
+// higher-is-better metrics (throughput, flop/s) a positive gain means the
+// candidate achieves more.  Infinities encode the paper's "+Inf"/"-Inf"
+// cells where one side failed to complete within limits.
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace hxsim::stats {
+
+enum class Direction {
+  kLowerIsBetter,   // latency, runtime
+  kHigherIsBetter,  // bandwidth, flop/s, TEPS
+};
+
+/// Relative gain of `candidate` over `baseline`.
+///
+/// lower-is-better : gain = baseline/candidate - 1
+/// higher-is-better: gain = candidate/baseline - 1
+/// so +0.10 always reads "candidate is 10 % better", matching the signs
+/// printed in the paper's Figure 4 cells.
+[[nodiscard]] double relative_gain(double baseline, double candidate,
+                                   Direction direction);
+
+/// Format like the paper's cells: "+0.12", "-0.45", "+Inf", "-Inf".
+[[nodiscard]] std::string format_gain(double gain, int decimals = 2);
+
+/// The value used when a run failed/timed out (paper: missing boxes).
+inline constexpr double kFailed = std::numeric_limits<double>::infinity();
+
+}  // namespace hxsim::stats

@@ -1,0 +1,83 @@
+#include "stats/heatmap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/units.hpp"
+
+namespace hxsim::stats {
+
+namespace {
+constexpr char kRamp[] = " .:-=+*#%@";
+constexpr std::size_t kRampLevels = sizeof(kRamp) - 2;  // top index
+}  // namespace
+
+Heatmap::Heatmap(std::size_t rows, std::size_t cols, std::string title)
+    : rows_(rows), cols_(cols), title_(std::move(title)),
+      cells_(rows * cols, 0.0) {}
+
+void Heatmap::set(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_)
+    throw std::out_of_range("Heatmap::set: cell out of range");
+  cells_[row * cols_ + col] = value;
+}
+
+double Heatmap::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_)
+    throw std::out_of_range("Heatmap::at: cell out of range");
+  return cells_[row * cols_ + col];
+}
+
+double Heatmap::mean() const {
+  if (cells_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : cells_) sum += v;
+  return sum / static_cast<double>(cells_.size());
+}
+
+double Heatmap::mean_off_diagonal() const {
+  if (rows_ <= 1 || cols_ <= 1) return 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (r == c) continue;
+      sum += cells_[r * cols_ + c];
+      ++n;
+    }
+  }
+  return n != 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Heatmap::max_value() const {
+  return cells_.empty() ? 0.0 : *std::max_element(cells_.begin(), cells_.end());
+}
+
+double Heatmap::min_value() const {
+  return cells_.empty() ? 0.0 : *std::min_element(cells_.begin(), cells_.end());
+}
+
+std::string Heatmap::to_string(double scale_max) const {
+  const double top = scale_max > 0.0 ? scale_max : max_value();
+  std::string out = title_ + "\n";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::string line;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double v = cells_[r * cols_ + c];
+      std::size_t level = 0;
+      if (top > 0.0 && v > 0.0) {
+        level = static_cast<std::size_t>(
+            (v / top) * static_cast<double>(kRampLevels) + 0.5);
+        level = std::min(level, kRampLevels);
+      }
+      line += kRamp[level];
+    }
+    out += line + "\n";
+  }
+  out += "mean=" + format_fixed(mean(), 3) +
+         " mean(offdiag)=" + format_fixed(mean_off_diagonal(), 3) +
+         " max=" + format_fixed(max_value(), 3) + "\n";
+  return out;
+}
+
+}  // namespace hxsim::stats

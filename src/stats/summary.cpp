@@ -1,0 +1,56 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/units.hpp"
+
+namespace hxsim::stats {
+
+namespace {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  return s;
+}
+
+std::string Summary::to_string(int decimals) const {
+  return "min=" + format_fixed(min, decimals) +
+         " q25=" + format_fixed(q25, decimals) +
+         " med=" + format_fixed(median, decimals) +
+         " q75=" + format_fixed(q75, decimals) +
+         " max=" + format_fixed(max, decimals);
+}
+
+}  // namespace hxsim::stats

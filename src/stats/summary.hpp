@@ -1,0 +1,36 @@
+// Whisker-plot summary statistics.
+//
+// The paper reports min / max / median / 25th / 75th percentile over ten runs
+// per configuration (Figures 5 and 6).  Summary computes exactly those, plus
+// mean, using the linear-interpolation quantile definition (type 7, the
+// gnuplot/numpy default the paper's plots were produced with).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hxsim::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+
+  /// "min=.. q25=.. med=.. q75=.. max=.." with the given precision.
+  [[nodiscard]] std::string to_string(int decimals = 3) const;
+};
+
+/// Summarise a sample; returns a zeroed Summary for an empty input.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation quantile of a sample, q in [0, 1].
+/// Returns 0 for an empty sample.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+}  // namespace hxsim::stats

@@ -1,0 +1,32 @@
+// Plain-text table rendering for bench output.
+//
+// Every bench prints the same rows/series the paper reports; TextTable keeps
+// that output aligned and diffable.  Cells are strings so callers pick their
+// own numeric formatting (format_fixed, format_gain, ...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hxsim::stats {
+
+class TextTable {
+ public:
+  /// Column headers define the table width; rows are padded/truncated to it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with a header separator; columns sized to the widest cell.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hxsim::stats

@@ -1,0 +1,31 @@
+#include "stats/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hxsim::stats {
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_bytes(std::int64_t bytes) {
+  if (bytes >= kGiB && bytes % kGiB == 0)
+    return std::to_string(bytes / kGiB) + "GiB";
+  if (bytes >= kMiB && bytes % kMiB == 0)
+    return std::to_string(bytes / kMiB) + "MiB";
+  if (bytes >= kKiB && bytes % kKiB == 0)
+    return std::to_string(bytes / kKiB) + "KiB";
+  return std::to_string(bytes) + "B";
+}
+
+std::string format_time(double seconds) {
+  const double mag = std::fabs(seconds);
+  if (mag < 1e-3) return format_fixed(seconds / kMicro, 2) + "us";
+  if (mag < 1.0) return format_fixed(seconds / kMilli, 2) + "ms";
+  return format_fixed(seconds, 2) + "s";
+}
+
+}  // namespace hxsim::stats

@@ -1,0 +1,51 @@
+// Byte / time unit helpers and human-readable formatting.
+//
+// Simulated time is carried as double seconds everywhere; bytes as
+// std::int64_t.  These helpers centralise the unit constants used by the
+// paper (GiB/s bandwidths, microsecond latencies, KiB/MiB message sizes) so
+// that benches and the simulator agree on conversions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hxsim::stats {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kNano = 1e-9;
+
+/// Seconds -> microseconds.
+[[nodiscard]] constexpr double to_us(double seconds) noexcept {
+  return seconds / kMicro;
+}
+
+/// Bytes over seconds -> GiB/s; returns 0 for non-positive durations.
+[[nodiscard]] constexpr double gib_per_s(std::int64_t bytes,
+                                         double seconds) noexcept {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / static_cast<double>(kGiB) / seconds;
+}
+
+/// Bytes over seconds -> MiB/s; returns 0 for non-positive durations.
+[[nodiscard]] constexpr double mib_per_s(std::int64_t bytes,
+                                         double seconds) noexcept {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / static_cast<double>(kMiB) / seconds;
+}
+
+/// "1B", "4KiB", "2MiB", "1GiB" -- exact power-of-two labels used on the
+/// paper's message-size axes; falls back to the raw byte count otherwise.
+[[nodiscard]] std::string format_bytes(std::int64_t bytes);
+
+/// "12.3us", "4.56ms", "7.8s" depending on magnitude.
+[[nodiscard]] std::string format_time(double seconds);
+
+/// Fixed-precision helper ("%.*f") without the iostream dance.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+}  // namespace hxsim::stats

@@ -1,0 +1,60 @@
+#include "topo/bisection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hxsim::topo {
+
+std::int64_t cut_links(const Topology& topo,
+                       std::span<const std::int8_t> side) {
+  if (static_cast<std::int32_t>(side.size()) != topo.num_switches())
+    throw std::invalid_argument("cut_links: side size mismatch");
+  std::int64_t crossing = 0;
+  for (ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
+    const Channel& c = topo.channel(ch);
+    if (!c.enabled || !topo.is_switch_channel(ch) || ch > c.reverse) continue;
+    if (side[static_cast<std::size_t>(c.src.index)] !=
+        side[static_cast<std::size_t>(c.dst.index)])
+      ++crossing;
+  }
+  return crossing;
+}
+
+std::int64_t exact_bisection_links(const Topology& topo) {
+  const std::int32_t n = topo.num_switches();
+  if (n > 24)
+    throw std::invalid_argument("exact_bisection_links: too many switches");
+  if (n < 2) return 0;
+
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int8_t> side(static_cast<std::size_t>(n));
+  const std::uint64_t limit = 1ULL << (n - 1);  // fix switch 0 on side 0
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    std::int32_t ones = 0;
+    for (std::int32_t i = 1; i < n; ++i) {
+      const auto bit = static_cast<std::int8_t>((mask >> (i - 1)) & 1U);
+      side[static_cast<std::size_t>(i)] = bit;
+      ones += bit;
+    }
+    side[0] = 0;
+    if (std::abs((n - ones) - ones) > 1) continue;  // not balanced
+    best = std::min(best, cut_links(topo, side));
+  }
+  return best;
+}
+
+double terminal_bisection_ratio(const Topology& topo,
+                                std::span<const std::int8_t> side) {
+  const std::int64_t crossing = cut_links(topo, side);
+  std::int64_t terminals[2] = {0, 0};
+  for (NodeId t = 0; t < topo.num_terminals(); ++t) {
+    const SwitchId sw = topo.attach_switch(t);
+    ++terminals[side[static_cast<std::size_t>(sw)]];
+  }
+  const std::int64_t smaller = std::min(terminals[0], terminals[1]);
+  if (smaller == 0) return 0.0;
+  return static_cast<double>(crossing) / static_cast<double>(smaller);
+}
+
+}  // namespace hxsim::topo

@@ -1,0 +1,34 @@
+// Bisection bandwidth analysis.
+//
+// Exact bisection (minimum balanced cut) is NP-hard in general, so this
+// header offers two tools:
+//  - exact_bisection_links(): brute-force over balanced switch bipartitions,
+//    feasible for ~<= 20 switches; used by tests against the analytic
+//    builder formulas.
+//  - terminal_bisection_ratio(): cut capacity relative to the terminal
+//    injection bandwidth of the smaller half, given an explicit cut.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace hxsim::topo {
+
+/// Number of enabled switch-to-switch cables crossing the given bipartition
+/// (side[sw] in {0, 1}).
+[[nodiscard]] std::int64_t cut_links(const Topology& topo,
+                                     std::span<const std::int8_t> side);
+
+/// Exhaustive minimum over balanced bipartitions (|halves| differ by <= 1).
+/// Throws std::invalid_argument for more than 24 switches.
+[[nodiscard]] std::int64_t exact_bisection_links(const Topology& topo);
+
+/// cut bandwidth / injection bandwidth of the smaller half's terminals,
+/// assuming unit capacity per cable and per terminal link.
+[[nodiscard]] double terminal_bisection_ratio(
+    const Topology& topo, std::span<const std::int8_t> side);
+
+}  // namespace hxsim::topo

@@ -1,0 +1,81 @@
+#include "topo/dragonfly.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::topo {
+
+DragonflyParams paper_matched_dragonfly_params() {
+  DragonflyParams p;
+  p.terminals_per_switch = 7;
+  p.switches_per_group = 8;
+  p.global_ports = 2;
+  p.groups = 12;
+  p.name = "dragonfly-7-8-2-12";
+  return p;
+}
+
+Dragonfly::Dragonfly(const DragonflyParams& params)
+    : params_(params), topo_(params.name) {
+  const std::int32_t p = params_.terminals_per_switch;
+  const std::int32_t a = params_.switches_per_group;
+  const std::int32_t h = params_.global_ports;
+  const std::int32_t g = params_.groups;
+  if (p < 0 || a < 1 || h < 1 || g < 2)
+    throw std::invalid_argument("Dragonfly: bad parameters");
+  if (g > a * h + 1)
+    throw std::invalid_argument(
+        "Dragonfly: groups exceed a*h+1 (not enough global slots to reach "
+        "every group)");
+
+  for (std::int32_t s = 0; s < g * a; ++s) topo_.add_switch();
+
+  // Intra-group: every group is a clique.
+  for (std::int32_t grp = 0; grp < g; ++grp)
+    for (std::int32_t i = 0; i < a; ++i)
+      for (std::int32_t j = i + 1; j < a; ++j)
+        topo_.connect(switch_in_group(grp, i), switch_in_group(grp, j));
+
+  // Global links: each group owns a*h slots; distribute them over the
+  // other groups as evenly as possible, sweeping the pair distances so the
+  // balanced case (g == a*h + 1) yields exactly one link per pair.
+  pair_links_.assign(static_cast<std::size_t>(g) * g, 0);
+  std::vector<std::int32_t> slots_used(static_cast<std::size_t>(g), 0);
+  const std::int32_t slots = a * h;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::int32_t d = 1; d <= g / 2; ++d) {
+      // Distance-d pairs: g of them (including wrap-around), except g/2 for
+      // the diametral distance of an even ring.
+      const std::int32_t count = (2 * d == g) ? g / 2 : g;
+      for (std::int32_t i = 0; i < count; ++i) {
+        const std::int32_t j = (i + d) % g;
+        auto& used_i = slots_used[static_cast<std::size_t>(i)];
+        auto& used_j = slots_used[static_cast<std::size_t>(j)];
+        if (used_i >= slots || used_j >= slots) continue;
+        // Slot -> (switch, port): consecutive assignment.
+        const SwitchId si = switch_in_group(i, used_i % a);
+        const SwitchId sj = switch_in_group(j, used_j % a);
+        topo_.connect(si, sj);
+        ++used_i;
+        ++used_j;
+        ++pair_links_[pair_index(i, j)];
+        ++pair_links_[pair_index(j, i)];
+        progress = true;
+      }
+    }
+  }
+
+  for (std::int32_t s = 0; s < g * a; ++s)
+    for (std::int32_t t = 0; t < p; ++t) topo_.add_terminal(s);
+}
+
+std::int32_t Dragonfly::global_links_between(std::int32_t group_a,
+                                             std::int32_t group_b) const {
+  if (group_a < 0 || group_a >= params_.groups || group_b < 0 ||
+      group_b >= params_.groups)
+    throw std::out_of_range("Dragonfly::global_links_between");
+  return pair_links_[pair_index(group_a, group_b)];
+}
+
+}  // namespace hxsim::topo

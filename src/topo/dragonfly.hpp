@@ -1,0 +1,74 @@
+// Dragonfly builder (Kim et al., the paper's reference [41]).
+//
+// The paper's introduction positions the HyperX against the "flies" --
+// Dragonfly, Dragonfly+, Slimfly -- as the competing low-diameter designs.
+// This builder constructs the classic 1-D Dragonfly: groups of `a`
+// fully-connected switches, `p` terminals per switch, `h` global ports per
+// switch; the a*h global links of each group are spread over the other
+// groups as evenly as possible (the balanced case g = a*h + 1 gives
+// exactly one link per group pair).
+//
+// The reproduction ships a configuration matched to the paper's machine:
+// p = 7, a = 8, h = 2, g = 12 -- 96 switches and 672 nodes, the same
+// counts as the 12x8 HyperX, enabling a like-for-like comparison
+// (`bench/topology_comparison`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace hxsim::topo {
+
+struct DragonflyParams {
+  std::int32_t terminals_per_switch = 2;  // p
+  std::int32_t switches_per_group = 4;    // a
+  std::int32_t global_ports = 1;          // h (per switch)
+  std::int32_t groups = 5;                // g <= a*h + 1
+  std::string name = "dragonfly";
+};
+
+/// 672-node configuration matched to the paper's machine:
+/// p=7, a=8, h=2, g=12 (96 switches).
+[[nodiscard]] DragonflyParams paper_matched_dragonfly_params();
+
+class Dragonfly {
+ public:
+  explicit Dragonfly(const DragonflyParams& params);
+
+  [[nodiscard]] const Topology& topo() const noexcept { return topo_; }
+  [[nodiscard]] Topology& topo() noexcept { return topo_; }
+  [[nodiscard]] const DragonflyParams& params() const noexcept {
+    return params_;
+  }
+
+  [[nodiscard]] std::int32_t num_groups() const noexcept {
+    return params_.groups;
+  }
+  [[nodiscard]] std::int32_t group_of(SwitchId sw) const {
+    return sw / params_.switches_per_group;
+  }
+  [[nodiscard]] SwitchId switch_in_group(std::int32_t group,
+                                         std::int32_t index) const {
+    return group * params_.switches_per_group + index;
+  }
+
+  /// Number of global cables between two distinct groups (>= 1 when the
+  /// slot distribution covers every pair).
+  [[nodiscard]] std::int32_t global_links_between(std::int32_t group_a,
+                                                  std::int32_t group_b) const;
+
+ private:
+  DragonflyParams params_;
+  Topology topo_;
+  std::vector<std::int32_t> pair_links_;  // g x g matrix of global cables
+
+  [[nodiscard]] std::size_t pair_index(std::int32_t a, std::int32_t b) const {
+    return static_cast<std::size_t>(a) *
+               static_cast<std::size_t>(params_.groups) +
+           static_cast<std::size_t>(b);
+  }
+};
+
+}  // namespace hxsim::topo

@@ -1,0 +1,110 @@
+#include "topo/fat_tree.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::topo {
+
+FatTreeParams paper_fat_tree_params() {
+  FatTreeParams p;
+  p.arity = 18;
+  p.levels = 3;
+  p.leaf_terminals = 14;
+  p.populated_leaves = 48;  // 24 racks x 2 edge switches per plane
+  p.name = "fat-tree-18ary3";
+  return p;
+}
+
+FatTreeParams small_fat_tree_params() {
+  FatTreeParams p;
+  p.arity = 4;
+  p.levels = 2;
+  p.leaf_terminals = 4;
+  p.populated_leaves = -1;
+  p.name = "fat-tree-4ary2";
+  return p;
+}
+
+FatTree::FatTree(const FatTreeParams& params)
+    : params_(params), topo_(params.name) {
+  const std::int32_t k = params_.arity;
+  const std::int32_t n = params_.levels;
+  if (k < 2) throw std::invalid_argument("FatTree: arity must be >= 2");
+  if (n < 2) throw std::invalid_argument("FatTree: levels must be >= 2");
+  if (params_.leaf_terminals < 1 || params_.leaf_terminals > k)
+    throw std::invalid_argument("FatTree: leaf_terminals must be in [1, k]");
+  if (params_.taper < 1 || k % params_.taper != 0)
+    throw std::invalid_argument("FatTree: taper must divide the arity");
+
+  pow_.resize(static_cast<std::size_t>(n));
+  pow_[0] = 1;
+  for (std::int32_t i = 1; i < n; ++i) pow_[static_cast<std::size_t>(i)] =
+      pow_[static_cast<std::size_t>(i - 1)] * k;
+  per_level_ = pow_[static_cast<std::size_t>(n - 1)];
+
+  if (params_.populated_leaves < 0) params_.populated_leaves = per_level_;
+  if (params_.populated_leaves > per_level_)
+    throw std::invalid_argument("FatTree: populated_leaves exceeds leaves");
+
+  const std::int32_t total_switches = n * per_level_;
+  for (std::int32_t s = 0; s < total_switches; ++s) topo_.add_switch();
+  up_.assign(static_cast<std::size_t>(total_switches), {});
+  down_.assign(static_cast<std::size_t>(total_switches), {});
+
+  // Cables: iterate parents at level l (1..n-1); a parent with word w'
+  // connects down to the k children obtained by replacing digit l-1 of w'.
+  // The leaf taper keeps only the level-1 parents with digit 0 below this
+  // bound; upper levels stay fully connected.
+  const std::int32_t leaf_parent_bound = k / params_.taper;
+  for (std::int32_t l = 1; l < n; ++l) {
+    for (std::int32_t w = 0; w < per_level_; ++w) {
+      const SwitchId parent = switch_id(l, w);
+      if (l == 1 && digit(w, 0) >= leaf_parent_bound) {
+        down_[static_cast<std::size_t>(parent)].assign(
+            static_cast<std::size_t>(k), kInvalidChannel);
+        continue;  // tapered away: this level-1 switch has no children
+      }
+      down_[static_cast<std::size_t>(parent)].assign(
+          static_cast<std::size_t>(k), kInvalidChannel);
+      for (std::int32_t u = 0; u < k; ++u) {
+        const std::int32_t child_word = with_digit(w, l - 1, u);
+        const SwitchId child = switch_id(l - 1, child_word);
+        auto [child_to_parent, parent_to_child] = topo_.connect(child, parent);
+        auto& child_up = up_[static_cast<std::size_t>(child)];
+        if (child_up.empty())
+          child_up.assign(static_cast<std::size_t>(k), kInvalidChannel);
+        // The child's up-ports are indexed by the parent's digit l-1.
+        child_up[static_cast<std::size_t>(digit(w, l - 1))] = child_to_parent;
+        down_[static_cast<std::size_t>(parent)][static_cast<std::size_t>(u)] =
+            parent_to_child;
+      }
+    }
+  }
+
+  for (std::int32_t leaf = 0; leaf < params_.populated_leaves; ++leaf) {
+    for (std::int32_t t = 0; t < params_.leaf_terminals; ++t)
+      topo_.add_terminal(switch_id(0, leaf));
+  }
+}
+
+std::int32_t FatTree::digit(std::int32_t word, std::int32_t pos) const {
+  return (word / pow_[static_cast<std::size_t>(pos)]) % params_.arity;
+}
+
+std::int32_t FatTree::with_digit(std::int32_t word, std::int32_t pos,
+                                 std::int32_t value) const {
+  const std::int32_t p = pow_[static_cast<std::size_t>(pos)];
+  const std::int32_t old = digit(word, pos);
+  return word + (value - old) * p;
+}
+
+bool FatTree::in_subtree(SwitchId sw, NodeId n) const {
+  const std::int32_t l = level_of(sw);
+  const std::int32_t w = word_of(sw);
+  const std::int32_t leaf_word = word_of(leaf_of(n));
+  for (std::int32_t pos = l; pos < params_.levels - 1; ++pos) {
+    if (digit(w, pos) != digit(leaf_word, pos)) return false;
+  }
+  return true;
+}
+
+}  // namespace hxsim::topo

@@ -1,0 +1,107 @@
+// k-ary n-tree (folded Clos / fat-tree) builder.
+//
+// Implements the construction of Petrini & Vanneschi [66 in the paper]:
+// n levels of k^(n-1) switches each; a switch is identified by
+// (level l, word w) with w in [k]^(n-1); switches (l, w) and (l+1, w') are
+// cabled iff w and w' agree on every digit except digit l.  Level 0 is the
+// leaf level; each leaf hosts `leaf_terminals` compute nodes
+// (undersubscription, paper Section 2.1/2.3, is leaf_terminals < k).
+//
+// `populated_leaves` models the paper's situation where the rewired system
+// uses only part of the original tree (48 rack edge switches out of 324):
+// terminals are attached to the first `populated_leaves` leaf switches only,
+// while the full switching fabric remains in place.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace hxsim::topo {
+
+struct FatTreeParams {
+  std::int32_t arity = 4;            // k: up/down ports per switch side
+  std::int32_t levels = 2;           // n: switch levels
+  std::int32_t leaf_terminals = 4;   // nodes per populated leaf (<= arity)
+  std::int32_t populated_leaves = -1;  // -1: all k^(n-1) leaves host nodes
+  /// Leaf-level oversubscription (paper Section 2.1): a taper of t keeps
+  /// only the parents with digit-0 < k/t, i.e. each leaf has k/t uplinks
+  /// for its leaf_terminals nodes.  taper = 1 is the full folded Clos;
+  /// taper = 2 is the "2-to-1 oversubscription [that] cuts the network
+  /// cost by more than 50%".  Must divide arity.
+  std::int32_t taper = 1;
+  std::string name = "fat-tree";
+};
+
+/// Paper configuration: 18-ary 3-tree, 48 populated leaves x 14 nodes
+/// = 672 terminals (Section 2.3).
+[[nodiscard]] FatTreeParams paper_fat_tree_params();
+
+/// Figure 2a configuration: 4-ary 2-tree with 16 nodes.
+[[nodiscard]] FatTreeParams small_fat_tree_params();
+
+class FatTree {
+ public:
+  explicit FatTree(const FatTreeParams& params);
+
+  [[nodiscard]] const Topology& topo() const noexcept { return topo_; }
+  [[nodiscard]] Topology& topo() noexcept { return topo_; }
+  [[nodiscard]] const FatTreeParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] std::int32_t arity() const noexcept { return params_.arity; }
+  [[nodiscard]] std::int32_t levels() const noexcept { return params_.levels; }
+  /// Switches per level = arity^(levels-1).
+  [[nodiscard]] std::int32_t switches_per_level() const noexcept {
+    return per_level_;
+  }
+
+  [[nodiscard]] std::int32_t level_of(SwitchId sw) const {
+    return sw / per_level_;
+  }
+  /// Word value (mixed-radix base-k digits) of a switch within its level.
+  [[nodiscard]] std::int32_t word_of(SwitchId sw) const {
+    return sw % per_level_;
+  }
+  [[nodiscard]] SwitchId switch_id(std::int32_t level,
+                                   std::int32_t word) const {
+    return level * per_level_ + word;
+  }
+
+  /// digit `pos` of a word value.
+  [[nodiscard]] std::int32_t digit(std::int32_t word, std::int32_t pos) const;
+  /// word value with digit `pos` replaced by `value`.
+  [[nodiscard]] std::int32_t with_digit(std::int32_t word, std::int32_t pos,
+                                        std::int32_t value) const;
+
+  /// Channel from `sw` (level l < levels-1) up to the level-(l+1) switch
+  /// whose digit l equals `value`; kInvalidChannel for uplinks removed by
+  /// the leaf taper.
+  [[nodiscard]] ChannelId up_channel(SwitchId sw, std::int32_t value) const {
+    return up_[static_cast<std::size_t>(sw)][static_cast<std::size_t>(value)];
+  }
+  /// Channel from `sw` (level l > 0) down to the level-(l-1) switch whose
+  /// digit l-1 equals `value`.
+  [[nodiscard]] ChannelId down_channel(SwitchId sw, std::int32_t value) const {
+    return down_[static_cast<std::size_t>(sw)][static_cast<std::size_t>(value)];
+  }
+
+  /// Leaf switch hosting terminal n.
+  [[nodiscard]] SwitchId leaf_of(NodeId n) const {
+    return topo_.attach_switch(n);
+  }
+  /// True if terminal `n` is in the subtree of switch `sw`:
+  /// its leaf word agrees with sw's word on digits >= level(sw).
+  [[nodiscard]] bool in_subtree(SwitchId sw, NodeId n) const;
+
+ private:
+  FatTreeParams params_;
+  Topology topo_;
+  std::int32_t per_level_ = 0;
+  std::vector<std::int32_t> pow_;  // arity^i, i in [0, levels-1]
+  std::vector<std::vector<ChannelId>> up_;
+  std::vector<std::vector<ChannelId>> down_;
+};
+
+}  // namespace hxsim::topo

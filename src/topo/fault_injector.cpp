@@ -1,0 +1,36 @@
+#include "topo/fault_injector.hpp"
+
+#include "stats/rng.hpp"
+
+namespace hxsim::topo {
+
+FaultReport inject_link_faults(Topology& topo, std::int32_t count,
+                               std::uint64_t seed, bool keep_connected) {
+  FaultReport report;
+  if (count <= 0) return report;
+
+  std::vector<ChannelId> candidates;
+  for (ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
+    const Channel& c = topo.channel(ch);
+    if (!c.enabled || !topo.is_switch_channel(ch)) continue;
+    if (ch > c.reverse) continue;  // one entry per cable
+    candidates.push_back(ch);
+  }
+
+  stats::Rng rng(seed);
+  rng.shuffle(candidates);
+
+  for (ChannelId ch : candidates) {
+    if (static_cast<std::int32_t>(report.disabled_links.size()) >= count) break;
+    topo.disable_link(ch);
+    if (keep_connected && !topo.switches_connected()) {
+      topo.enable_link(ch);
+      ++report.skipped_for_connectivity;
+      continue;
+    }
+    report.disabled_links.push_back(ch);
+  }
+  return report;
+}
+
+}  // namespace hxsim::topo

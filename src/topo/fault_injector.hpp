@@ -1,0 +1,34 @@
+// Seeded link-fault injection (paper Section 2.3).
+//
+// The rewired system had 15 of 684 HyperX AOCs and 197 of 2662 fat-tree
+// links missing.  inject_link_faults reproduces that by disabling a random
+// sample of switch-to-switch cables while (optionally) guaranteeing that
+// the switch graph stays connected, as the paper's degraded-but-operational
+// fabrics did.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace hxsim::topo {
+
+struct FaultReport {
+  /// Forward channel id of every disabled cable.
+  std::vector<ChannelId> disabled_links;
+  /// Candidates skipped because disabling them would disconnect switches.
+  std::int32_t skipped_for_connectivity = 0;
+};
+
+/// Disables `count` randomly chosen enabled switch-to-switch cables.
+/// With keep_connected the sample avoids cuts that disconnect the switch
+/// graph; if fewer than `count` safe candidates exist, fewer are disabled.
+FaultReport inject_link_faults(Topology& topo, std::int32_t count,
+                               std::uint64_t seed, bool keep_connected = true);
+
+/// Paper fault counts.
+inline constexpr std::int32_t kPaperHyperXMissingLinks = 15;
+inline constexpr std::int32_t kPaperFatTreeMissingLinks = 197;
+
+}  // namespace hxsim::topo

@@ -1,0 +1,123 @@
+#include "topo/hyperx.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hxsim::topo {
+
+HyperXParams paper_hyperx_params() {
+  HyperXParams p;
+  p.dims = {12, 8};
+  p.terminals_per_switch = 7;
+  p.name = "hyperx-12x8";
+  return p;
+}
+
+HyperXParams small_hyperx_params() {
+  HyperXParams p;
+  p.dims = {4, 4};
+  p.terminals_per_switch = 2;
+  p.name = "hyperx-4x4";
+  return p;
+}
+
+HyperX::HyperX(const HyperXParams& params)
+    : params_(params), topo_(params.name) {
+  if (params_.dims.empty())
+    throw std::invalid_argument("HyperX: need at least one dimension");
+  for (std::int32_t d : params_.dims)
+    if (d < 2) throw std::invalid_argument("HyperX: dimension size must be >= 2");
+  if (params_.terminals_per_switch < 0)
+    throw std::invalid_argument("HyperX: negative terminals_per_switch");
+
+  std::int64_t total = 1;
+  for (std::int32_t d : params_.dims) total *= d;
+  const auto num_switches = static_cast<std::int32_t>(total);
+
+  const auto ndims = static_cast<std::int32_t>(params_.dims.size());
+  coords_.reserve(static_cast<std::size_t>(num_switches));
+  std::vector<std::int32_t> c(static_cast<std::size_t>(ndims), 0);
+  for (std::int32_t s = 0; s < num_switches; ++s) {
+    topo_.add_switch();
+    coords_.push_back(c);
+    // Increment mixed-radix counter, dimension 0 fastest.
+    for (std::int32_t d = 0; d < ndims; ++d) {
+      auto& digit = c[static_cast<std::size_t>(d)];
+      if (++digit < params_.dims[static_cast<std::size_t>(d)]) break;
+      digit = 0;
+    }
+  }
+
+  dim_channels_.assign(static_cast<std::size_t>(num_switches), {});
+  for (std::int32_t s = 0; s < num_switches; ++s) {
+    auto& per_dim = dim_channels_[static_cast<std::size_t>(s)];
+    per_dim.resize(static_cast<std::size_t>(ndims));
+    for (std::int32_t d = 0; d < ndims; ++d)
+      per_dim[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(params_.dims[static_cast<std::size_t>(d)]),
+          kInvalidChannel);
+  }
+
+  // Fully connect each lattice row: for every switch and dimension,
+  // connect to all switches with a *greater* coordinate in that dimension
+  // (so each cable is created exactly once).
+  for (std::int32_t s = 0; s < num_switches; ++s) {
+    for (std::int32_t d = 0; d < ndims; ++d) {
+      const std::int32_t own = coord(s, d);
+      std::vector<std::int32_t> other(coords_[static_cast<std::size_t>(s)]);
+      for (std::int32_t v = own + 1;
+           v < params_.dims[static_cast<std::size_t>(d)]; ++v) {
+        other[static_cast<std::size_t>(d)] = v;
+        const SwitchId peer = switch_at(other);
+        auto [fwd, rev] = topo_.connect(s, peer);
+        dim_channels_[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)]
+                     [static_cast<std::size_t>(v)] = fwd;
+        dim_channels_[static_cast<std::size_t>(peer)]
+                     [static_cast<std::size_t>(d)]
+                     [static_cast<std::size_t>(own)] = rev;
+      }
+    }
+  }
+
+  for (std::int32_t s = 0; s < num_switches; ++s)
+    for (std::int32_t t = 0; t < params_.terminals_per_switch; ++t)
+      topo_.add_terminal(s);
+}
+
+SwitchId HyperX::switch_at(std::span<const std::int32_t> coord) const {
+  if (coord.size() != params_.dims.size())
+    throw std::invalid_argument("HyperX::switch_at: wrong coordinate rank");
+  std::int64_t idx = 0;
+  std::int64_t stride = 1;
+  for (std::size_t d = 0; d < coord.size(); ++d) {
+    if (coord[d] < 0 || coord[d] >= params_.dims[d])
+      throw std::out_of_range("HyperX::switch_at: coordinate out of range");
+    idx += coord[d] * stride;
+    stride *= params_.dims[d];
+  }
+  return static_cast<SwitchId>(idx);
+}
+
+double HyperX::bisection_ratio() const {
+  if (params_.terminals_per_switch == 0) return 0.0;
+  const auto ndims = static_cast<std::int32_t>(params_.dims.size());
+  std::int64_t switches = 1;
+  for (std::int32_t d : params_.dims) switches *= d;
+
+  double best = std::numeric_limits<double>::infinity();
+  for (std::int32_t d = 0; d < ndims; ++d) {
+    const std::int64_t size = params_.dims[static_cast<std::size_t>(d)];
+    const std::int64_t lo = size / 2;
+    const std::int64_t hi = size - lo;
+    const std::int64_t rows = switches / size;
+    const double cut_links = static_cast<double>(lo * hi * rows);
+    const double half_terminals =
+        static_cast<double>(std::min(lo, hi) * rows *
+                            params_.terminals_per_switch);
+    best = std::min(best, cut_links / half_terminals);
+  }
+  return best;
+}
+
+}  // namespace hxsim::topo

@@ -1,0 +1,188 @@
+#include "workloads/capacity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace hxsim::workloads {
+
+std::int32_t CapacityResult::total() const {
+  std::int32_t sum = 0;
+  for (std::int32_t r : runs_completed) sum += r;
+  return sum;
+}
+
+std::vector<CapacityJob> paper_capacity_mix(std::span<const topo::NodeId> pool,
+                                            mpi::PlacementKind kind,
+                                            stats::Rng& rng) {
+  // 9 x 56 + 5 x 32 = 664 nodes (the paper's 98.8 % occupancy of 672).
+  const std::vector<AppId> apps = capacity_apps();
+  auto nodes_for = [](AppId id) {
+    switch (id) {
+      case AppId::kFfvc:
+      case AppId::kMvmc:
+      case AppId::kNtchem:
+      case AppId::kQbox:
+      case AppId::kEmDl:
+        return 32;
+      default:
+        return 56;
+    }
+  };
+
+  std::vector<CapacityJob> jobs;
+  std::size_t offset = 0;
+  for (AppId id : apps) {
+    const auto count = static_cast<std::size_t>(nodes_for(id));
+    if (offset + count > pool.size())
+      throw std::invalid_argument("paper_capacity_mix: pool too small");
+    const std::span<const topo::NodeId> slice = pool.subspan(offset, count);
+    offset += count;
+    jobs.push_back(CapacityJob{
+        id, mpi::Placement::make(kind, static_cast<std::int32_t>(count),
+                                 slice, rng)});
+  }
+  return jobs;
+}
+
+namespace {
+
+struct JobState {
+  std::string name;
+  double compute_per_run = 0.0;
+  /// Aggregated run communication: routed flows with per-run byte volume.
+  std::vector<sim::Flow> run_flows;
+
+  enum class Phase : std::int8_t { kCompute, kComm } phase = Phase::kCompute;
+  double compute_left = 0.0;
+  std::vector<double> bytes_left;  // per flow, comm phase
+  std::int32_t runs_completed = 0;
+};
+
+/// Aggregates a schedule into one flow per communicating node pair.
+std::vector<sim::Flow> aggregate_run_flows(const mpi::Cluster& cluster,
+                                           const CapacityJob& job,
+                                           const AppWorkload& app,
+                                           stats::Rng& rng) {
+  std::map<std::pair<topo::NodeId, topo::NodeId>, std::int64_t> volume;
+  for (const mpi::Round& round : app.iteration_comm) {
+    for (const mpi::RankMsg& m : round) {
+      const topo::NodeId src = job.placement.node_of(m.src_rank);
+      const topo::NodeId dst = job.placement.node_of(m.dst_rank);
+      if (src == dst || m.bytes == 0) continue;
+      volume[{src, dst}] += m.bytes;
+    }
+  }
+  std::vector<sim::Flow> flows;
+  flows.reserve(volume.size());
+  for (const auto& [pair, bytes_per_iter] : volume) {
+    const std::int64_t bytes = bytes_per_iter * app.iterations;
+    auto msg = cluster.route_message(pair.first, pair.second, bytes, rng);
+    if (!msg) throw std::runtime_error("capacity: unroutable job pair");
+    flows.push_back(sim::Flow{std::move(msg->path), bytes});
+  }
+  return flows;
+}
+
+void start_run(JobState& job, double launch_overhead) {
+  job.phase = JobState::Phase::kCompute;
+  job.compute_left = launch_overhead + job.compute_per_run;
+}
+
+void start_comm(JobState& job) {
+  job.phase = JobState::Phase::kComm;
+  job.bytes_left.assign(job.run_flows.size(), 0.0);
+  for (std::size_t f = 0; f < job.run_flows.size(); ++f)
+    job.bytes_left[f] = static_cast<double>(job.run_flows[f].bytes);
+}
+
+}  // namespace
+
+CapacityResult run_capacity(const mpi::Cluster& cluster,
+                            std::span<const CapacityJob> jobs,
+                            const CapacityOptions& options) {
+  stats::Rng rng(options.seed);
+  sim::FlowSim flowsim(cluster.topo(), cluster.link());
+
+  std::vector<JobState> states;
+  states.reserve(jobs.size());
+  for (const CapacityJob& job : jobs) {
+    const AppWorkload app = make_app(job.app, job.placement.num_ranks());
+    JobState st;
+    st.name = app.name;
+    st.compute_per_run = app.compute_per_iteration *
+                         static_cast<double>(app.iterations);
+    st.run_flows = aggregate_run_flows(cluster, job, app, rng);
+    start_run(st, options.launch_overhead);
+    states.push_back(std::move(st));
+  }
+
+  double now = 0.0;
+  while (now < options.duration) {
+    // Global fair rates over every communicating job's flows.
+    std::vector<sim::Flow> active;
+    std::vector<std::pair<std::size_t, std::size_t>> owner;  // (job, flow)
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      if (states[j].phase != JobState::Phase::kComm) continue;
+      for (std::size_t f = 0; f < states[j].run_flows.size(); ++f) {
+        if (states[j].bytes_left[f] <= 0.0) continue;
+        active.push_back(states[j].run_flows[f]);
+        owner.emplace_back(j, f);
+      }
+    }
+    std::vector<double> rate;
+    if (!active.empty()) rate = flowsim.fair_rates(active);
+
+    // Next phase transition across all jobs.
+    std::vector<double> job_eta(states.size(),
+                                std::numeric_limits<double>::infinity());
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      if (states[j].phase == JobState::Phase::kCompute)
+        job_eta[j] = states[j].compute_left;
+      else if (states[j].run_flows.empty())
+        job_eta[j] = 0.0;  // no fabric traffic: comm is instantaneous
+      else
+        job_eta[j] = 0.0;  // grows below from the slowest flow
+    }
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const auto [j, f] = owner[i];
+      if (rate[i] <= 0.0)
+        throw std::runtime_error("capacity: starved flow");
+      job_eta[j] = std::max(job_eta[j], states[j].bytes_left[f] / rate[i]);
+    }
+
+    double dt = options.duration - now;
+    for (double eta : job_eta) dt = std::min(dt, eta);
+    dt = std::max(dt, 0.0);
+
+    // Advance.
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const auto [j, f] = owner[i];
+      states[j].bytes_left[f] =
+          std::max(0.0, states[j].bytes_left[f] - rate[i] * dt);
+    }
+    now += dt;
+    if (now >= options.duration) break;
+
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      JobState& st = states[j];
+      if (st.phase == JobState::Phase::kCompute) {
+        st.compute_left -= dt;
+        if (st.compute_left <= 1e-9) start_comm(st);
+      } else if (job_eta[j] <= dt + 1e-12) {
+        ++st.runs_completed;
+        start_run(st, options.launch_overhead);
+      }
+    }
+  }
+
+  CapacityResult result;
+  for (const JobState& st : states) {
+    result.app_names.push_back(st.name);
+    result.runs_completed.push_back(st.runs_completed);
+  }
+  return result;
+}
+
+}  // namespace hxsim::workloads

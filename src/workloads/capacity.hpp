@@ -1,0 +1,53 @@
+// Capacity / system-throughput evaluation (paper §4.4.2 and §5.3, Fig. 7).
+//
+// Fourteen applications run concurrently on dedicated 32/56-node
+// allocations for three hours; the metric is the number of completed runs
+// per application.  Jobs interfere only through the shared fabric, which is
+// exactly what the fluid co-simulation models: every job alternates between
+// a compute phase and a communication phase whose flows share the network
+// with all concurrently communicating jobs under max-min fairness.  Rates
+// are re-evaluated at every job phase transition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+#include "workloads/apps.hpp"
+
+namespace hxsim::workloads {
+
+struct CapacityJob {
+  AppId app = AppId::kAmg;
+  mpi::Placement placement;  // the job's node allocation (rank order)
+};
+
+struct CapacityOptions {
+  double duration = 3.0 * 3600.0;  // the paper's 3 h window
+  /// Per-run launch overhead (mpirun + setup) [s].
+  double launch_overhead = 10.0;
+  std::uint64_t seed = 1;
+};
+
+struct CapacityResult {
+  std::vector<std::string> app_names;
+  std::vector<std::int32_t> runs_completed;
+
+  [[nodiscard]] std::int32_t total() const;
+};
+
+/// Builds the paper's 14-job mix: every app from capacity_apps() on
+/// consecutive slices of `pool` (32 nodes each, 56 for CoMD and
+/// Multi-PingPong as in the paper's 664-node occupancy), placed per `kind`.
+[[nodiscard]] std::vector<CapacityJob> paper_capacity_mix(
+    std::span<const topo::NodeId> pool, mpi::PlacementKind kind,
+    stats::Rng& rng);
+
+/// Runs the co-simulation.
+[[nodiscard]] CapacityResult run_capacity(const mpi::Cluster& cluster,
+                                          std::span<const CapacityJob> jobs,
+                                          const CapacityOptions& options = {});
+
+}  // namespace hxsim::workloads

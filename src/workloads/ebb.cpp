@@ -1,0 +1,49 @@
+#include "workloads/ebb.hpp"
+
+#include <stdexcept>
+
+#include "stats/units.hpp"
+
+namespace hxsim::workloads {
+
+EbbResult effective_bisection_bandwidth(const mpi::Cluster& cluster,
+                                        const mpi::Placement& placement,
+                                        std::int32_t nodes_used,
+                                        const EbbOptions& options) {
+  if (nodes_used < 2 || nodes_used % 2 != 0 ||
+      nodes_used > placement.num_ranks())
+    throw std::invalid_argument("ebb: node count must be even and placed");
+
+  stats::Rng rng(options.seed);
+  sim::FlowSim flows(cluster.topo(), cluster.link());
+  EbbResult result;
+  result.sample_means.reserve(static_cast<std::size_t>(options.samples));
+
+  const std::int32_t half = nodes_used / 2;
+  for (std::int32_t s = 0; s < options.samples; ++s) {
+    const std::vector<std::int32_t> perm = rng.permutation(nodes_used);
+    // Pair perm[i] <-> perm[i + half]; both directions stream concurrently
+    // (Netgauge uses Isend/Irecv full-duplex pairs).
+    std::vector<sim::Flow> round;
+    round.reserve(static_cast<std::size_t>(nodes_used));
+    for (std::int32_t i = 0; i < half; ++i) {
+      const topo::NodeId a =
+          placement.node_of(perm[static_cast<std::size_t>(i)]);
+      const topo::NodeId b =
+          placement.node_of(perm[static_cast<std::size_t>(i + half)]);
+      for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+        auto msg = cluster.route_message(src, dst, options.bytes, rng);
+        if (!msg) throw std::runtime_error("ebb: unroutable pair");
+        round.push_back(sim::Flow{std::move(msg->path), options.bytes});
+      }
+    }
+    const std::vector<double> rate = flows.fair_rates(round);
+    double mean = 0.0;
+    for (double r : rate) mean += r;
+    mean /= static_cast<double>(rate.size());
+    result.sample_means.push_back(mean / static_cast<double>(stats::kGiB));
+  }
+  return result;
+}
+
+}  // namespace hxsim::workloads

@@ -1,0 +1,78 @@
+#include "workloads/imb.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::workloads {
+
+namespace col = mpi::collectives;
+
+const char* to_string(ImbOp op) {
+  switch (op) {
+    case ImbOp::kBarrier:
+      return "Barrier";
+    case ImbOp::kBcast:
+      return "Bcast";
+    case ImbOp::kGather:
+      return "Gather";
+    case ImbOp::kScatter:
+      return "Scatter";
+    case ImbOp::kReduce:
+      return "Reduce";
+    case ImbOp::kAllreduce:
+      return "Allreduce";
+    case ImbOp::kAlltoall:
+      return "Alltoall";
+  }
+  return "?";
+}
+
+std::vector<ImbOp> imb_figure4_ops() {
+  return {ImbOp::kBcast,  ImbOp::kGather,    ImbOp::kScatter,
+          ImbOp::kReduce, ImbOp::kAllreduce, ImbOp::kAlltoall};
+}
+
+mpi::Schedule imb_schedule(ImbOp op, std::int32_t nranks, std::int64_t bytes) {
+  switch (op) {
+    case ImbOp::kBarrier:
+      return col::barrier_dissemination(nranks);
+    case ImbOp::kBcast:
+      return col::bcast_binomial(nranks, bytes);
+    case ImbOp::kGather:
+      return col::gather_binomial(nranks, bytes);
+    case ImbOp::kScatter:
+      return col::scatter_binomial(nranks, bytes);
+    case ImbOp::kReduce:
+      return col::reduce_binomial(nranks, bytes);
+    case ImbOp::kAllreduce:
+      return bytes <= kAllreduceRingThreshold
+                 ? col::allreduce_recursive_doubling(nranks, bytes)
+                 : col::allreduce_ring(nranks, bytes);
+    case ImbOp::kAlltoall:
+      return col::alltoall_pairwise(nranks, bytes);
+  }
+  throw std::invalid_argument("imb_schedule: bad op");
+}
+
+std::vector<std::int64_t> imb_message_sizes(ImbOp op) {
+  if (op == ImbOp::kBarrier) return {0};
+  const std::int64_t first =
+      (op == ImbOp::kReduce || op == ImbOp::kAllreduce) ? 4 : 1;
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t b = first; b <= 4 * 1024 * 1024; b *= 2) sizes.push_back(b);
+  return sizes;
+}
+
+std::vector<std::int32_t> capability_node_counts(bool power_of_two,
+                                                 std::int32_t max_nodes) {
+  std::vector<std::int32_t> counts;
+  if (power_of_two) {
+    for (std::int32_t n = 4; n <= max_nodes && n <= 512; n *= 2)
+      counts.push_back(n);
+  } else {
+    for (std::int32_t n = 7; n < max_nodes; n *= 2) counts.push_back(n);
+    counts.push_back(max_nodes);  // 7, 14, ..., 448, 672
+  }
+  return counts;
+}
+
+}  // namespace hxsim::workloads

@@ -1,0 +1,50 @@
+// Intel MPI Benchmarks (IMB) single-mode MPI-1 collectives (paper §4.1).
+//
+// Maps each IMB operation to the algorithm Open MPI 1.10's tuned component
+// would pick: binomial trees for rooted collectives, recursive doubling for
+// small Allreduce and ring for large, pairwise exchange for Alltoall.
+// imb_message_sizes() reproduces the power-of-two sweeps on the Figure 4/5
+// axes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/collectives.hpp"
+
+namespace hxsim::workloads {
+
+enum class ImbOp : std::int8_t {
+  kBarrier,
+  kBcast,
+  kGather,
+  kScatter,
+  kReduce,
+  kAllreduce,
+  kAlltoall,
+};
+
+[[nodiscard]] const char* to_string(ImbOp op);
+
+/// All Figure 4 operations (everything except Barrier).
+[[nodiscard]] std::vector<ImbOp> imb_figure4_ops();
+
+/// Open MPI 1.10 switches Allreduce from recursive doubling to ring at
+/// large sizes; we use this threshold.
+inline constexpr std::int64_t kAllreduceRingThreshold = 64 * 1024;
+
+/// The schedule IMB's measurement loop executes once per repetition.
+[[nodiscard]] mpi::Schedule imb_schedule(ImbOp op, std::int32_t nranks,
+                                         std::int64_t bytes);
+
+/// Message-size sweep of the paper's Figure 4 plots: 1 B ... 4 MiB for
+/// most operations, 4 B ... 4 MiB for (All)Reduce, {0} for Barrier.
+[[nodiscard]] std::vector<std::int64_t> imb_message_sizes(ImbOp op);
+
+/// Node-count sweep of the capability runs: 7, 14, ..., 672 switch-aligned
+/// or 4, 8, ..., 512 power-of-two (paper §4.4.1).
+[[nodiscard]] std::vector<std::int32_t> capability_node_counts(
+    bool power_of_two, std::int32_t max_nodes);
+
+}  // namespace hxsim::workloads

@@ -1,0 +1,47 @@
+#include "workloads/mpigraph.hpp"
+
+#include <stdexcept>
+
+#include "stats/units.hpp"
+
+namespace hxsim::workloads {
+
+stats::Heatmap mpigraph(const mpi::Cluster& cluster,
+                        const mpi::Placement& placement,
+                        std::int32_t nodes_used,
+                        const MpiGraphOptions& options) {
+  if (nodes_used < 2 || nodes_used > placement.num_ranks())
+    throw std::invalid_argument("mpigraph: bad node count");
+
+  stats::Heatmap map(static_cast<std::size_t>(nodes_used),
+                     static_cast<std::size_t>(nodes_used),
+                     cluster.topo().name() + " mpiGraph " +
+                         std::to_string(nodes_used) + " nodes");
+
+  stats::Rng rng(options.seed);
+  sim::FlowSim flows(cluster.topo(), cluster.link());
+
+  for (std::int32_t shift = 1; shift < nodes_used; ++shift) {
+    std::vector<sim::Flow> round;
+    round.reserve(static_cast<std::size_t>(nodes_used));
+    for (std::int32_t i = 0; i < nodes_used; ++i) {
+      const topo::NodeId src = placement.node_of(i);
+      const topo::NodeId dst = placement.node_of((i + shift) % nodes_used);
+      auto msg = cluster.route_message(src, dst, options.bytes, rng);
+      if (!msg)
+        throw std::runtime_error("mpigraph: unroutable node pair");
+      round.push_back(sim::Flow{std::move(msg->path), options.bytes});
+    }
+    const std::vector<double> rate = flows.fair_rates(round);
+    for (std::int32_t i = 0; i < nodes_used; ++i) {
+      const std::int32_t j = (i + shift) % nodes_used;
+      // Streaming bandwidth of the pair == its steady fair share.
+      map.set(static_cast<std::size_t>(j), static_cast<std::size_t>(i),
+              rate[static_cast<std::size_t>(i)] /
+                  static_cast<double>(stats::kGiB));
+    }
+  }
+  return map;
+}
+
+}  // namespace hxsim::workloads

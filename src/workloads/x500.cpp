@@ -1,0 +1,19 @@
+#include "workloads/x500.hpp"
+
+#include <stdexcept>
+
+namespace hxsim::workloads {
+
+double gflops(const AppWorkload& app, double kernel_seconds) {
+  if (kernel_seconds <= 0.0)
+    throw std::invalid_argument("gflops: non-positive runtime");
+  return app.total_flops / kernel_seconds / 1e9;
+}
+
+double gteps(const AppWorkload& app, double kernel_seconds) {
+  if (kernel_seconds <= 0.0)
+    throw std::invalid_argument("gteps: non-positive runtime");
+  return app.total_edges / kernel_seconds / 1e9;
+}
+
+}  // namespace hxsim::workloads

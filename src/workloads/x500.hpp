@@ -1,0 +1,18 @@
+// x500 benchmark metrics (paper §4.3, Figures 6j-6l).
+//
+// HPL and HPCG report floating-point operations per second; Graph500
+// reports traversed edges per second (TEPS).  The skeletons carry their
+// total useful work, so the metric is work / measured kernel time.
+#pragma once
+
+#include "workloads/apps.hpp"
+
+namespace hxsim::workloads {
+
+/// HPL / HPCG compute performance [Gflop/s].
+[[nodiscard]] double gflops(const AppWorkload& app, double kernel_seconds);
+
+/// Graph500 traversal speed [GTEPS] (edges per second over all BFSs).
+[[nodiscard]] double gteps(const AppWorkload& app, double kernel_seconds);
+
+}  // namespace hxsim::workloads

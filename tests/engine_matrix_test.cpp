@@ -1,0 +1,260 @@
+// Cross-product property matrix: every applicable routing engine on every
+// topology family (fat-tree, HyperX, Dragonfly; intact and faulty), checked
+// against the three invariants any production InfiniBand routing must hold:
+//   1. full terminal reachability (every (source, destination LID) pair),
+//   2. loop freedom (implied by the path walker's hop bound),
+//   3. deadlock freedom (per-VL channel dependency graphs acyclic).
+// This is the sweep that would catch a regression in any engine/topology
+// combination the figure benches rely on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/parx.hpp"
+#include "core/quadrant.hpp"
+#include "routing/cdg.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/ftree.hpp"
+#include "routing/sssp.hpp"
+#include "routing/updown.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/fault_injector.hpp"
+#include "topo/hyperx.hpp"
+
+namespace hxsim {
+namespace {
+
+using routing::Lid;
+using routing::LidSpace;
+using routing::RouteResult;
+using topo::ChannelId;
+using topo::NodeId;
+using topo::SwitchId;
+
+enum class TopologyKind : std::int8_t {
+  kFatTree,
+  kHyperX,
+  kDragonfly,
+};
+
+enum class EngineKind : std::int8_t {
+  kFtree,   // fat-tree only
+  kUpDown,  // any topology
+  kSssp,    // any topology (not deadlock-free by itself)
+  kDfsssp,  // any topology
+  kParx,    // even 2-D HyperX only
+};
+
+struct Case {
+  TopologyKind topology;
+  EngineKind engine;
+  bool faulty;
+  std::int32_t lmc;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  auto topo_name = [](TopologyKind t) {
+    switch (t) {
+      case TopologyKind::kFatTree:
+        return "FatTree";
+      case TopologyKind::kHyperX:
+        return "HyperX";
+      case TopologyKind::kDragonfly:
+        return "Dragonfly";
+    }
+    return "?";
+  };
+  auto engine_name = [](EngineKind e) {
+    switch (e) {
+      case EngineKind::kFtree:
+        return "Ftree";
+      case EngineKind::kUpDown:
+        return "UpDown";
+      case EngineKind::kSssp:
+        return "Sssp";
+      case EngineKind::kDfsssp:
+        return "Dfsssp";
+      case EngineKind::kParx:
+        return "Parx";
+    }
+    return "?";
+  };
+  return std::string(topo_name(info.param.topology)) +
+         engine_name(info.param.engine) +
+         (info.param.faulty ? "Faulty" : "Intact") + "Lmc" +
+         std::to_string(info.param.lmc);
+}
+
+/// Small instances keep the all-pairs sweeps fast.
+struct Machine {
+  std::unique_ptr<topo::FatTree> ft;
+  std::unique_ptr<topo::HyperX> hx;
+  std::unique_ptr<topo::Dragonfly> df;
+  const topo::Topology* topology = nullptr;
+};
+
+Machine make_machine(TopologyKind kind, bool faulty) {
+  Machine m;
+  switch (kind) {
+    case TopologyKind::kFatTree: {
+      m.ft = std::make_unique<topo::FatTree>(topo::small_fat_tree_params());
+      m.topology = &m.ft->topo();
+      break;
+    }
+    case TopologyKind::kHyperX: {
+      topo::HyperXParams p;
+      p.dims = {6, 4};
+      p.terminals_per_switch = 2;
+      p.name = "hyperx-6x4-matrix";
+      m.hx = std::make_unique<topo::HyperX>(p);
+      m.topology = &m.hx->topo();
+      break;
+    }
+    case TopologyKind::kDragonfly: {
+      topo::DragonflyParams p;
+      p.terminals_per_switch = 2;
+      p.switches_per_group = 4;
+      p.global_ports = 2;
+      p.groups = 6;
+      p.name = "dragonfly-matrix";
+      m.df = std::make_unique<topo::Dragonfly>(p);
+      m.topology = &m.df->topo();
+      break;
+    }
+  }
+  if (faulty) {
+    // A handful of broken cables, like the paper's fabrics.
+    topo::inject_link_faults(
+        *const_cast<topo::Topology*>(m.topology), 3, 0xfab);
+  }
+  return m;
+}
+
+class EngineMatrix : public ::testing::TestWithParam<Case> {
+ protected:
+  /// Runs the engine; returns false if this combination is not applicable.
+  bool compute(const Case& c, Machine& m, LidSpace& lids, RouteResult& out) {
+    switch (c.engine) {
+      case EngineKind::kFtree: {
+        if (!m.ft) return false;
+        lids = LidSpace::consecutive(m.topology->num_terminals(), c.lmc);
+        routing::FtreeEngine engine(*m.ft);
+        out = engine.compute(*m.topology, lids);
+        return true;
+      }
+      case EngineKind::kUpDown: {
+        lids = LidSpace::consecutive(m.topology->num_terminals(), c.lmc);
+        routing::UpDownEngine engine;
+        out = engine.compute(*m.topology, lids);
+        return true;
+      }
+      case EngineKind::kSssp: {
+        lids = LidSpace::consecutive(m.topology->num_terminals(), c.lmc);
+        routing::SsspEngine engine;
+        out = engine.compute(*m.topology, lids);
+        return true;
+      }
+      case EngineKind::kDfsssp: {
+        lids = LidSpace::consecutive(m.topology->num_terminals(), c.lmc);
+        routing::DfssspEngine engine(8);
+        out = engine.compute(*m.topology, lids);
+        return true;
+      }
+      case EngineKind::kParx: {
+        if (!m.hx) return false;
+        lids = core::make_parx_lid_space(*m.hx);
+        core::ParxEngine engine(*m.hx);
+        out = engine.compute(*m.topology, lids);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+TEST_P(EngineMatrix, ReachableLoopFreeAndDeadlockFree) {
+  const Case c = GetParam();
+  Machine m = make_machine(c.topology, c.faulty);
+  LidSpace lids = LidSpace::consecutive(1, 0);
+  RouteResult route;
+  if (!compute(c, m, lids, route)) GTEST_SKIP() << "not applicable";
+
+  const topo::Topology& t = *m.topology;
+
+  // 1+2: reachability with the loop-detecting walker.  For PARX on a
+  // faulty fabric individual LIDs may legitimately be lost (footnote 7);
+  // at least one LID per node pair must survive.
+  for (NodeId src = 0; src < t.num_terminals(); ++src) {
+    for (NodeId dst = 0; dst < t.num_terminals(); ++dst) {
+      if (src == dst) continue;
+      bool any = false;
+      for (std::int32_t x = 0; x < lids.lids_per_terminal(); ++x)
+        any |= route.tables.reachable(t, lids, src, lids.lid(dst, x));
+      EXPECT_TRUE(any) << src << " -> " << dst;
+      if (!(c.engine == EngineKind::kParx && c.faulty)) {
+        for (std::int32_t x = 0; x < lids.lids_per_terminal(); ++x)
+          EXPECT_TRUE(route.tables.reachable(t, lids, src, lids.lid(dst, x)))
+              << src << " -> " << dst << " lid index " << x;
+      }
+    }
+  }
+
+  // 3: deadlock freedom -- except plain SSSP, which the paper (and we)
+  // treat as unsafe on non-tree fabrics; its layered variant is DFSSSP.
+  if (c.engine == EngineKind::kSssp &&
+      c.topology != TopologyKind::kFatTree)
+    return;
+  std::map<std::int8_t, std::set<std::pair<std::int32_t, std::int32_t>>>
+      per_vl;
+  for (NodeId src = 0; src < t.num_terminals(); ++src) {
+    const SwitchId src_sw = t.attach_switch(src);
+    for (const Lid dlid : lids.all_lids()) {
+      const auto path = route.tables.path(t, lids, src, dlid);
+      if (!path.ok) continue;
+      const std::int8_t vl = route.vls.vl(src_sw, dlid);
+      EXPECT_LT(vl, route.num_vls_used);
+      for (std::size_t i = 0; i + 1 < path.channels.size(); ++i) {
+        if (!t.is_switch_channel(path.channels[i]) ||
+            !t.is_switch_channel(path.channels[i + 1]))
+          continue;
+        per_vl[vl].insert({path.channels[i], path.channels[i + 1]});
+      }
+    }
+  }
+  for (const auto& [vl, edges] : per_vl) {
+    std::vector<std::pair<std::int32_t, std::int32_t>> list(edges.begin(),
+                                                            edges.end());
+    EXPECT_TRUE(routing::acyclic(t.num_channels(), list))
+        << "cycle on VL " << static_cast<int>(vl);
+  }
+  EXPECT_LE(route.num_vls_used, 8);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const TopologyKind t : {TopologyKind::kFatTree, TopologyKind::kHyperX,
+                               TopologyKind::kDragonfly}) {
+    for (const EngineKind e :
+         {EngineKind::kFtree, EngineKind::kUpDown, EngineKind::kSssp,
+          EngineKind::kDfsssp, EngineKind::kParx}) {
+      // Skip inapplicable combinations up front (they would only SKIP).
+      if (e == EngineKind::kFtree && t != TopologyKind::kFatTree) continue;
+      if (e == EngineKind::kParx && t != TopologyKind::kHyperX) continue;
+      for (const bool faulty : {false, true}) {
+        cases.push_back(Case{t, e, faulty, e == EngineKind::kParx ? 2 : 0});
+        if (e == EngineKind::kDfsssp && !faulty)
+          cases.push_back(Case{t, e, faulty, 1});  // multi-LID variant
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, EngineMatrix,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace hxsim

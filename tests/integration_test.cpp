@@ -1,0 +1,233 @@
+// Cross-module integration tests: build both paper topologies, route them
+// with the paper's engines, run workloads, and verify the headline
+// *qualitative* results of the paper hold in the reproduction:
+//   - Figure 1 ordering: FT/ftree > HX/PARX > HX/DFSSSP mpiGraph bandwidth
+//     on a dense 28-node allocation;
+//   - PARX stays deadlock-free on the faulty 12x8 fabric;
+//   - the paper's 14-node Alltoall pathology (one FT switch vs two HX
+//     switches joined by one cable).
+#include <gtest/gtest.h>
+
+#include "core/parx.hpp"
+#include "core/quadrant.hpp"
+#include "mpi/cluster.hpp"
+#include "mpi/collectives.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/ftree.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/fault_injector.hpp"
+#include "topo/hyperx.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/ebb.hpp"
+#include "workloads/imb.hpp"
+#include "workloads/mpigraph.hpp"
+
+namespace hxsim {
+namespace {
+
+using mpi::Cluster;
+using mpi::Placement;
+using mpi::Transport;
+using topo::FatTree;
+using topo::HyperX;
+
+/// Shared fixture: the three paper machine configurations at full scale,
+/// built once for the whole suite (routing the fat-tree takes seconds).
+class PaperMachines : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ft_ = new FatTree(topo::paper_fat_tree_params());
+    topo::inject_link_faults(ft_->topo(), topo::kPaperFatTreeMissingLinks,
+                             1001);
+    // Seed 1003 keeps the cables among the first row's switches intact --
+    // the paper's fabric also had the dense-allocation cables present
+    // (the Figure 1 / 14-node pathologies require them).
+    hx_ = new HyperX(topo::paper_hyperx_params());
+    topo::inject_link_faults(hx_->topo(), topo::kPaperHyperXMissingLinks,
+                             1003);
+
+    {
+      routing::LidSpace lids =
+          routing::LidSpace::consecutive(ft_->topo().num_terminals(), 0);
+      routing::FtreeEngine engine(*ft_);
+      ft_cluster_ = new Cluster(ft_->topo(), lids,
+                                engine.compute(ft_->topo(), lids),
+                                mpi::make_ob1());
+    }
+    {
+      routing::LidSpace lids =
+          routing::LidSpace::consecutive(hx_->topo().num_terminals(), 0);
+      routing::DfssspEngine engine(8);
+      hx_dfsssp_ = new Cluster(hx_->topo(), lids,
+                               engine.compute(hx_->topo(), lids),
+                               mpi::make_ob1());
+    }
+    {
+      routing::LidSpace lids = core::make_parx_lid_space(*hx_);
+      core::ParxEngine engine(*hx_);
+      hx_parx_ = new Cluster(hx_->topo(), lids,
+                             engine.compute(hx_->topo(), lids),
+                             mpi::make_bfo());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete ft_cluster_;
+    delete hx_dfsssp_;
+    delete hx_parx_;
+    delete ft_;
+    delete hx_;
+    ft_cluster_ = hx_dfsssp_ = hx_parx_ = nullptr;
+    ft_ = nullptr;
+    hx_ = nullptr;
+  }
+
+  static FatTree* ft_;
+  static HyperX* hx_;
+  static Cluster* ft_cluster_;
+  static Cluster* hx_dfsssp_;
+  static Cluster* hx_parx_;
+};
+
+FatTree* PaperMachines::ft_ = nullptr;
+HyperX* PaperMachines::hx_ = nullptr;
+Cluster* PaperMachines::ft_cluster_ = nullptr;
+Cluster* PaperMachines::hx_dfsssp_ = nullptr;
+Cluster* PaperMachines::hx_parx_ = nullptr;
+
+TEST_F(PaperMachines, Figure1BandwidthOrdering) {
+  // 28 nodes, linear placement: 2 fat-tree leaves vs 4 HyperX switches.
+  const Placement p = Placement::linear(28, Placement::whole_machine(672));
+  const auto ft_map = workloads::mpigraph(*ft_cluster_, p, 28);
+  const auto dfsssp_map = workloads::mpigraph(*hx_dfsssp_, p, 28);
+  const auto parx_map = workloads::mpigraph(*hx_parx_, p, 28);
+
+  const double ft = ft_map.mean_off_diagonal();
+  const double dfsssp = dfsssp_map.mean_off_diagonal();
+  const double parx = parx_map.mean_off_diagonal();
+
+  // Paper: 2.26 vs 0.84 vs 1.39 GiB/s -- the ordering and rough factors
+  // must reproduce.
+  EXPECT_GT(ft, parx);
+  EXPECT_GT(parx, dfsssp * 1.2);  // paper: +66 %
+  EXPECT_GT(ft, dfsssp * 1.8);    // paper: ~2.7x
+}
+
+TEST_F(PaperMachines, ParxRoutingIsDeadlockFreeOnFaultyFabric) {
+  EXPECT_LE(hx_parx_->route().num_vls_used, 8);
+  // Spot-check reachability fallback across the whole machine.
+  stats::Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto src = static_cast<topo::NodeId>(rng.next_below(672));
+    const auto dst = static_cast<topo::NodeId>(rng.next_below(672));
+    if (src == dst) continue;
+    const auto msg = hx_parx_->route_message(src, dst, 1 << 20, rng);
+    EXPECT_TRUE(msg.has_value()) << src << "->" << dst;
+  }
+}
+
+TEST_F(PaperMachines, FourteenNodeAlltoallPathology) {
+  // Paper Section 5.1: 14 nodes sit on ONE fat-tree leaf but TWO HyperX
+  // switches joined by a single cable, so HX/DFSSSP Alltoall collapses.
+  const Placement p = Placement::linear(14, Placement::whole_machine(672));
+  const std::int64_t bytes = 512 * 1024;
+  const mpi::Schedule s = workloads::imb_schedule(
+      workloads::ImbOp::kAlltoall, 14, bytes);
+
+  Transport ft_t(*ft_cluster_, p, 1);
+  Transport hx_t(*hx_dfsssp_, p, 1);
+  const double t_ft = ft_t.execute(s);
+  const double t_hx = hx_t.execute(s);
+  EXPECT_GT(t_hx, 2.0 * t_ft);
+}
+
+TEST_F(PaperMachines, RandomPlacementMitigatesTheHyperXBottleneck) {
+  // Section 3.1: spreading ranks across switches relieves the shared
+  // cable for dense small allocations.
+  const std::int64_t bytes = 1 << 20;
+  const mpi::Schedule s = workloads::imb_schedule(
+      workloads::ImbOp::kAlltoall, 14, bytes);
+  stats::Rng rng(11);
+  const Placement linear =
+      Placement::linear(14, Placement::whole_machine(672));
+  const Placement random = Placement::random(
+      14, Placement::whole_machine(672), rng);
+  Transport t_linear(*hx_dfsssp_, linear, 1);
+  Transport t_random(*hx_dfsssp_, random, 1);
+  EXPECT_LT(t_random.execute(s), t_linear.execute(s));
+}
+
+TEST_F(PaperMachines, ParxBeatsDfssspOnDenseEbb) {
+  // Figure 5c: PARX nearly doubles effective bisection bandwidth for the
+  // dense 14-node allocation (paper: ~1.9x).  The fluid model reproduces
+  // the direction but compresses the factor (random bisections mix
+  // intra-switch pairs in), so we assert a conservative 1.2x.
+  const Placement p = Placement::linear(14, Placement::whole_machine(672));
+  workloads::EbbOptions opts;
+  opts.samples = 60;
+  const auto dfsssp =
+      workloads::effective_bisection_bandwidth(*hx_dfsssp_, p, 14, opts);
+  const auto parx =
+      workloads::effective_bisection_bandwidth(*hx_parx_, p, 14, opts);
+  EXPECT_GT(parx.summary().median, 1.2 * dfsssp.summary().median);
+}
+
+TEST_F(PaperMachines, SmallMessagesKeepMinimalPathsUnderParx) {
+  // Criterion (1): latency-critical traffic must not detour.  On the
+  // faulty fabric a pruned LID can occasionally lose its only minimal
+  // path (footnote 7), so a small tail of +1-hop paths is tolerated.
+  stats::Rng rng(3);
+  int trials = 0;
+  int minimal_hits = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto src = static_cast<topo::NodeId>(rng.next_below(672));
+    const auto dst = static_cast<topo::NodeId>(rng.next_below(672));
+    if (src == dst) continue;
+    const auto small = hx_parx_->route_message(src, dst, 256, rng);
+    const auto minimal = hx_dfsssp_->route_message(src, dst, 256, rng);
+    ASSERT_TRUE(small && minimal);
+    ++trials;
+    minimal_hits += (small->path.size() == minimal->path.size());
+    EXPECT_LE(small->path.size(), minimal->path.size() + 1);
+  }
+  EXPECT_GT(minimal_hits, trials * 9 / 10);
+}
+
+TEST_F(PaperMachines, CollectivesRunAtFullScaleOnBothPlanes) {
+  const Placement p = Placement::linear(672, Placement::whole_machine(672));
+  const mpi::Schedule s = workloads::imb_schedule(
+      workloads::ImbOp::kAllreduce, 672, 4096);
+  Transport ft_t(*ft_cluster_, p, 1);
+  Transport hx_t(*hx_dfsssp_, p, 1);
+  const double t_ft = ft_t.execute(s);
+  const double t_hx = hx_t.execute(s);
+  EXPECT_GT(t_ft, 0.0);
+  EXPECT_GT(t_hx, 0.0);
+  // Both within an order of magnitude: the planes are comparable.
+  EXPECT_LT(std::max(t_ft, t_hx) / std::min(t_ft, t_hx), 10.0);
+}
+
+TEST_F(PaperMachines, ProfileDrivenParxReroute) {
+  // The full SAR-style loop: record a workload profile, re-route PARX with
+  // it, and verify the demand-listed destinations are still fully routed.
+  const std::int32_t nranks = 56;
+  const Placement p = Placement::linear(nranks, Placement::whole_machine(672));
+  const workloads::AppWorkload app =
+      workloads::make_app(workloads::AppId::kMilc, nranks);
+  mpi::CommProfile profile(nranks);
+  Transport::accumulate(app.iteration_comm, profile);
+  const core::DemandMatrix demands = profile.to_demands(p, 672);
+
+  core::ParxEngine engine(*hx_, demands);
+  routing::LidSpace lids = core::make_parx_lid_space(*hx_);
+  const routing::RouteResult route = engine.compute(hx_->topo(), lids);
+  EXPECT_LE(route.num_vls_used, 8);
+
+  Cluster rerouted(hx_->topo(), lids, route, mpi::make_bfo());
+  Transport transport(rerouted, p, 1);
+  const double runtime = workloads::run_workload(app, transport);
+  EXPECT_GT(runtime, 0.0);
+}
+
+}  // namespace
+}  // namespace hxsim

@@ -1,0 +1,738 @@
+// Tests for the simulators: event queue ordering, max-min fairness
+// invariants of FlowSim, and packet-level conservation / latency /
+// deadlock behaviour of PktSim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/rng.hpp"
+
+#include "routing/forwarding.hpp"
+#include "sim/adaptive.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/flowsim.hpp"
+#include "sim/network_model.hpp"
+#include "sim/pktsim.hpp"
+#include "topo/hyperx.hpp"
+#include "routing/dfsssp.hpp"
+
+namespace hxsim::sim {
+namespace {
+
+using topo::ChannelId;
+using topo::NodeId;
+using topo::SwitchId;
+using topo::Topology;
+
+// --- EventQueue ---------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0, [&order, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, MaxEventsBound) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule(static_cast<double>(i), [] {});
+  EXPECT_EQ(q.run(3), 3u);
+  EXPECT_EQ(q.pending(), 7u);
+}
+
+// --- FlowSim -------------------------------------------------------------------
+
+/// Two switches, one cable, `terminals` nodes per switch.
+struct Dumbbell {
+  Topology topo{"dumbbell"};
+  ChannelId ab = topo::kInvalidChannel;
+  ChannelId ba = topo::kInvalidChannel;
+
+  explicit Dumbbell(std::int32_t terminals = 4) {
+    const SwitchId a = topo.add_switch();
+    const SwitchId b = topo.add_switch();
+    std::tie(ab, ba) = topo.connect(a, b);
+    for (std::int32_t i = 0; i < terminals; ++i) topo.add_terminal(a);
+    for (std::int32_t i = 0; i < terminals; ++i) topo.add_terminal(b);
+  }
+
+  /// Path of node i on switch a to node j on switch b.
+  Flow flow(NodeId src, NodeId dst, std::int64_t bytes) const {
+    return Flow{{topo.terminal_up(src), ab, topo.terminal_down(dst)}, bytes};
+  }
+};
+
+TEST(FlowSim, SingleFlowGetsFullBandwidth) {
+  const Dumbbell d;
+  LinkModel link;
+  const FlowSim sim(d.topo, link);
+  const std::vector<Flow> flows{d.flow(0, 4, 1000)};
+  const auto rates = sim.fair_rates(flows);
+  EXPECT_DOUBLE_EQ(rates[0], link.bandwidth);
+}
+
+TEST(FlowSim, SharedCableSplitsEvenly) {
+  const Dumbbell d;
+  LinkModel link;
+  const FlowSim sim(d.topo, link);
+  // Four flows over the single a->b cable.
+  std::vector<Flow> flows;
+  for (NodeId i = 0; i < 4; ++i) flows.push_back(d.flow(i, 4 + i, 1000));
+  const auto rates = sim.fair_rates(flows);
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, link.bandwidth / 4.0);
+}
+
+TEST(FlowSim, MaxMinBottleneckAndResidual) {
+  // Flow X crosses the shared cable; flow Y uses only its injection link.
+  // X is capped by the shared cable fair share; Y gets its full link.
+  const Dumbbell d(2);
+  LinkModel link;
+  const FlowSim sim(d.topo, link);
+  std::vector<Flow> flows;
+  flows.push_back(d.flow(0, 2, 1000));  // crosses cable
+  flows.push_back(d.flow(1, 3, 1000));  // crosses cable
+  // Intra-switch flow: terminal 0's switch to terminal 1 (up + down only).
+  flows.push_back(Flow{{d.topo.terminal_up(0), d.topo.terminal_down(1)}, 1000});
+  const auto rates = sim.fair_rates(flows);
+  // Flow 2 shares terminal 0's up-link with flow 0: both capped at C/2 on
+  // that link; then flow 1 can take the cable residual C - C/2.
+  EXPECT_DOUBLE_EQ(rates[0], link.bandwidth / 2.0);
+  EXPECT_DOUBLE_EQ(rates[2], link.bandwidth / 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], link.bandwidth / 2.0);
+}
+
+TEST(FlowSim, MaxMinIsWaterFilling) {
+  // Classic 3-flow example: flows A and B share link 1; flow B and C share
+  // link 2 with capacity 2C.  Build with capacity overrides.
+  Topology t("line");
+  const SwitchId s0 = t.add_switch();
+  const SwitchId s1 = t.add_switch();
+  const SwitchId s2 = t.add_switch();
+  const auto [c01, unused1] = t.connect(s0, s1);
+  const auto [c12, unused2] = t.connect(s1, s2);
+  (void)unused1;
+  (void)unused2;
+  FlowSim sim(t, LinkModel{});
+  sim.set_capacity(c01, 1.0);
+  sim.set_capacity(c12, 2.0);
+  const std::vector<Flow> flows{
+      Flow{{c01}, 100},        // A: link1 only
+      Flow{{c01, c12}, 100},   // B: both
+      Flow{{c12}, 100},        // C: link2 only
+  };
+  const auto rates = sim.fair_rates(flows);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(rates[2], 1.5);
+}
+
+TEST(FlowSim, NoChannelOversubscribed) {
+  const Dumbbell d(4);
+  const FlowSim sim(d.topo, LinkModel{});
+  std::vector<Flow> flows;
+  for (NodeId i = 0; i < 4; ++i)
+    for (NodeId j = 4; j < 8; ++j) flows.push_back(d.flow(i, j, 100));
+  const auto util = sim.channel_utilisation(flows);
+  for (double u : util) EXPECT_LE(u, 1.0 + 1e-9);
+}
+
+TEST(FlowSim, CompletionTimesReallocateAfterFinish) {
+  // Two flows share a unit-capacity link; one has half the bytes.  The
+  // small one finishes at t=1 (rate 1/2), then the big one speeds up:
+  // total 1.5 bytes left at rate 1 -> done at 2.0... with bytes 1 and 2:
+  // t1: both at 0.5 -> small done at 2.0? Use bytes 1 and 3 for clarity:
+  // small done at 2 (0.5 rate), big has 2 left, full rate -> done at 4.
+  Topology t("pair");
+  const SwitchId a = t.add_switch();
+  const SwitchId b = t.add_switch();
+  const auto [ab, unused] = t.connect(a, b);
+  (void)unused;
+  FlowSim sim(t, LinkModel{});
+  sim.set_capacity(ab, 1.0);
+  const std::vector<Flow> flows{Flow{{ab}, 1}, Flow{{ab}, 3}};
+  const auto done = sim.completion_times(flows);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 4.0, 1e-9);
+}
+
+TEST(FlowSim, ZeroByteAndSelfFlowsCompleteInstantly) {
+  const Dumbbell d;
+  const FlowSim sim(d.topo, LinkModel{});
+  const std::vector<Flow> flows{Flow{{}, 1000}, d.flow(0, 4, 0)};
+  const auto done = sim.completion_times(flows);
+  EXPECT_DOUBLE_EQ(done[0], 0.0);
+  EXPECT_DOUBLE_EQ(done[1], 0.0);
+}
+
+TEST(FlowSim, CompletionScalesLinearlyWithBytes) {
+  const Dumbbell d;
+  const FlowSim sim(d.topo, LinkModel{});
+  std::vector<Flow> small;
+  std::vector<Flow> big;
+  for (NodeId i = 0; i < 4; ++i) {
+    small.push_back(d.flow(i, 4 + i, 1000));
+    big.push_back(d.flow(i, 4 + i, 4000));
+  }
+  const auto ds = sim.completion_times(small);
+  const auto db = sim.completion_times(big);
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    EXPECT_NEAR(db[i], 4.0 * ds[i], 1e-12);
+}
+
+// --- PktSim --------------------------------------------------------------------
+
+PktMessage make_msg(const Topology& t, NodeId src, NodeId dst,
+                    std::int64_t bytes, std::vector<ChannelId> path,
+                    std::int8_t vl = 0) {
+  PktMessage m;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.path = std::move(path);
+  m.vl = vl;
+  return m;
+}
+
+TEST(PktSim, DeliversEveryPacketExactlyOnce) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  std::vector<PktMessage> msgs;
+  for (NodeId i = 0; i < 4; ++i) {
+    const Flow f = d.flow(i, 4 + i, 10000);
+    msgs.push_back(make_msg(d.topo, i, 4 + i, f.bytes, f.channels));
+  }
+  const auto result = sim.run(msgs);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_EQ(result.packets_delivered, result.packets_total);
+  // 10000 bytes / 2048 MTU = 5 packets per message.
+  EXPECT_EQ(result.packets_total, 20);
+  for (double t : result.completion) EXPECT_GT(t, 0.0);
+}
+
+TEST(PktSim, IdleNetworkLatencyMatchesModel) {
+  const Dumbbell d;
+  PktSimConfig cfg;
+  PktSim sim(d.topo, cfg);
+  const std::int64_t bytes = 256;  // single packet
+  const Flow f = d.flow(0, 4, bytes);
+  const auto result =
+      sim.run(std::vector<PktMessage>{make_msg(d.topo, 0, 4, bytes, f.channels)});
+  ASSERT_FALSE(result.deadlock);
+  // Store-and-forward per hop: 3 channels, each serialization + hop delay.
+  const double expect =
+      3.0 * (serialization_time(cfg.link, bytes) + cfg.link.hop_latency);
+  EXPECT_NEAR(result.completion[0], expect, 1e-12);
+}
+
+TEST(PktSim, SharedCableHalvesThroughput) {
+  const Dumbbell d;
+  PktSimConfig cfg;
+  PktSim sim(d.topo, cfg);
+  const std::int64_t bytes = 1 << 20;
+  std::vector<PktMessage> solo{
+      make_msg(d.topo, 0, 4, bytes, d.flow(0, 4, bytes).channels)};
+  const double t_solo = sim.run(solo).completion[0];
+
+  std::vector<PktMessage> pair{
+      make_msg(d.topo, 0, 4, bytes, d.flow(0, 4, bytes).channels),
+      make_msg(d.topo, 1, 5, bytes, d.flow(1, 5, bytes).channels)};
+  const auto both = sim.run(pair);
+  const double t_shared =
+      std::max(both.completion[0], both.completion[1]);
+  EXPECT_NEAR(t_shared / t_solo, 2.0, 0.1);
+}
+
+TEST(PktSim, SelfSendCompletesAtInjection) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  PktMessage m;
+  m.src = 0;
+  m.dst = 0;
+  m.bytes = 100;
+  m.inject_time = 1.5;
+  const auto result = sim.run(std::vector<PktMessage>{m});
+  EXPECT_DOUBLE_EQ(result.completion[0], 1.5);
+  EXPECT_FALSE(result.deadlock);
+}
+
+/// The Section 3.2 thought experiment: a triangle of switches A, B, C with
+/// routes that form a cyclic channel dependency deadlocks on one VL.
+struct Triangle {
+  Topology topo{"triangle"};
+  SwitchId sw[3];
+  NodeId node[3];
+  ChannelId fwd[3];  // fwd[i]: sw[i] -> sw[(i+1)%3]
+
+  Triangle() {
+    for (auto& s : sw) s = topo.add_switch();
+    for (int i = 0; i < 3; ++i) node[i] = topo.add_terminal(sw[i]);
+    for (int i = 0; i < 3; ++i) {
+      auto [f, unused] = topo.connect(sw[i], sw[(i + 1) % 3]);
+      (void)unused;
+      fwd[i] = f;
+    }
+  }
+
+  /// Message from node i around the triangle: i -> i+1 -> i+2 (two hops,
+  /// i.e. deliberately non-minimal so the dependencies form a cycle).
+  PktMessage two_hop(int i, std::int64_t bytes, std::int8_t vl) const {
+    PktMessage m;
+    m.src = node[i];
+    m.dst = node[(i + 2) % 3];
+    m.bytes = bytes;
+    m.vl = vl;
+    m.path = {topo.terminal_up(node[i]), fwd[i], fwd[(i + 1) % 3],
+              topo.terminal_down(node[(i + 2) % 3])};
+    return m;
+  }
+};
+
+TEST(PktSim, CyclicRoutesDeadlockOnOneVl) {
+  const Triangle tri;
+  PktSimConfig cfg;
+  cfg.vc_buffer_packets = 1;  // tight buffers make the cycle bite
+  PktSim sim(tri.topo, cfg);
+  std::vector<PktMessage> msgs;
+  // Enough traffic that every channel's buffer fills.
+  for (int rep = 0; rep < 4; ++rep)
+    for (int i = 0; i < 3; ++i)
+      msgs.push_back(tri.two_hop(i, 16 * 2048, 0));
+  const auto result = sim.run(msgs);
+  EXPECT_TRUE(result.deadlock);
+  EXPECT_LT(result.packets_delivered, result.packets_total);
+}
+
+TEST(PktSim, VlSeparationBreaksTheDeadlock) {
+  // Same traffic, but the second hop of each message escapes to VL1 --
+  // the classic dateline/layering argument the DFSSSP/PARX VL assignment
+  // implements.  Here we emulate it by giving each message a VL such that
+  // the per-VL dependency graphs are acyclic: messages starting at switch
+  // 2 (wrapping the "dateline") use VL1.
+  const Triangle tri;
+  PktSimConfig cfg;
+  cfg.vc_buffer_packets = 1;
+  PktSim sim(tri.topo, cfg);
+  std::vector<PktMessage> msgs;
+  for (int rep = 0; rep < 4; ++rep)
+    for (int i = 0; i < 3; ++i)
+      msgs.push_back(tri.two_hop(i, 16 * 2048, i == 2 ? 1 : 0));
+  const auto result = sim.run(msgs);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_EQ(result.packets_delivered, result.packets_total);
+}
+
+TEST(PktSim, RejectsBadConfig) {
+  const Dumbbell d;
+  PktSimConfig bad;
+  bad.num_vls = 0;
+  EXPECT_THROW(PktSim(d.topo, bad), std::invalid_argument);
+  bad = PktSimConfig{};
+  bad.vc_buffer_packets = 0;
+  EXPECT_THROW(PktSim(d.topo, bad), std::invalid_argument);
+}
+
+TEST(PktSim, RejectsMessageVlOutOfRange) {
+  const Dumbbell d;
+  PktSimConfig cfg;
+  cfg.num_vls = 2;
+  PktSim sim(d.topo, cfg);
+  const Flow f = d.flow(0, 4, 100);
+  EXPECT_THROW(
+      (void)sim.run(std::vector<PktMessage>{
+          make_msg(d.topo, 0, 4, 100, f.channels, 5)}),
+      std::invalid_argument);
+}
+
+// --- NetworkModel facade --------------------------------------------------------
+
+TEST(NetworkModel, FlowAndPacketModelsAgreeOnASingleStream) {
+  const Dumbbell d;
+  const std::int64_t bytes = 4 * 1024 * 1024;
+  NetMessage msg;
+  msg.src = 0;
+  msg.dst = 4;
+  msg.bytes = bytes;
+  msg.path = d.flow(0, 4, bytes).channels;
+
+  FlowModel flow_model(d.topo);
+  PacketModel pkt_model(d.topo);
+  const double t_flow = flow_model.run(std::vector<NetMessage>{msg})[0];
+  const double t_pkt = pkt_model.run(std::vector<NetMessage>{msg})[0];
+  // Cut-through pipelining vs fluid: within 5% on a large transfer.
+  EXPECT_NEAR(t_pkt / t_flow, 1.0, 0.05);
+}
+
+TEST(NetworkModel, PacketModelThrowsOnDeadlock) {
+  const Triangle tri;
+  PktSimConfig cfg;
+  cfg.vc_buffer_packets = 1;
+  PacketModel model(tri.topo, cfg);
+  std::vector<NetMessage> msgs;
+  for (int rep = 0; rep < 4; ++rep)
+    for (int i = 0; i < 3; ++i) {
+      const PktMessage p = tri.two_hop(i, 16 * 2048, 0);
+      NetMessage m;
+      m.src = p.src;
+      m.dst = p.dst;
+      m.bytes = p.bytes;
+      m.path = p.path;
+      m.vl = 0;
+      msgs.push_back(std::move(m));
+    }
+  EXPECT_THROW((void)model.run(msgs), std::runtime_error);
+}
+
+
+
+// --- randomized max-min optimality property ---------------------------------------
+
+/// The max-min certificate: an allocation is max-min fair iff every flow
+/// crosses at least one *saturated* channel on which it has the maximum
+/// rate.  Checked over random flow sets on the paper HyperX.
+class MaxMinProperty : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(MaxMinProperty, EveryFlowHasABottleneck) {
+  const std::int32_t num_flows = GetParam();
+  const topo::HyperX hx(topo::paper_hyperx_params());
+  routing::LidSpace lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  routing::DfssspEngine engine(8);
+  const routing::RouteResult route = engine.compute(hx.topo(), lids);
+
+  stats::Rng rng(1000 + static_cast<std::uint64_t>(num_flows));
+  std::vector<Flow> flows;
+  while (static_cast<std::int32_t>(flows.size()) < num_flows) {
+    const auto src = static_cast<NodeId>(rng.next_below(672));
+    const auto dst = static_cast<NodeId>(rng.next_below(672));
+    if (src == dst) continue;
+    auto path = route.tables.path(hx.topo(), lids, src, lids.base_lid(dst));
+    flows.push_back(Flow{std::move(path.channels), 1 << 20});
+  }
+
+  LinkModel link;
+  const FlowSim sim(hx.topo(), link);
+  const auto rates = sim.fair_rates(flows);
+
+  // Per-channel load and flow-maximum.
+  std::vector<double> load(static_cast<std::size_t>(hx.topo().num_channels()),
+                           0.0);
+  std::vector<double> ch_max(load.size(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (ChannelId ch : flows[f].channels) {
+      load[static_cast<std::size_t>(ch)] += rates[f];
+      ch_max[static_cast<std::size_t>(ch)] =
+          std::max(ch_max[static_cast<std::size_t>(ch)], rates[f]);
+    }
+  }
+  const double cap = link.bandwidth;
+  for (double l : load) EXPECT_LE(l, cap * (1.0 + 1e-9));  // feasibility
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    bool bottlenecked = false;
+    for (ChannelId ch : flows[f].channels) {
+      const auto c = static_cast<std::size_t>(ch);
+      if (load[c] >= cap * (1.0 - 1e-6) &&
+          rates[f] >= ch_max[c] * (1.0 - 1e-9)) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << f << " rate " << rates[f];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, MaxMinProperty,
+                         ::testing::Values(1, 8, 64, 256, 672),
+                         ::testing::PrintToStringParamName());
+
+/// Conservation under random mixed traffic, static and adaptive together.
+class PktConservation : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(PktConservation, AllPacketsDeliveredExactlyOnce) {
+  const std::int32_t num_msgs = GetParam();
+  const topo::HyperX hx(topo::paper_hyperx_params());
+  routing::LidSpace lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  routing::DfssspEngine engine(8);
+  const routing::RouteResult route = engine.compute(hx.topo(), lids);
+  const DalRouter dal(hx);
+
+  stats::Rng rng(2000 + static_cast<std::uint64_t>(num_msgs));
+  std::vector<PktMessage> msgs;
+  while (static_cast<std::int32_t>(msgs.size()) < num_msgs) {
+    const auto src = static_cast<NodeId>(rng.next_below(672));
+    const auto dst = static_cast<NodeId>(rng.next_below(672));
+    if (src == dst) continue;
+    PktMessage m;
+    m.src = src;
+    m.dst = dst;
+    m.bytes = static_cast<std::int64_t>(rng.next_below(64 * 1024)) + 1;
+    m.inject_time = rng.uniform() * 1e-5;
+    if (rng.bernoulli(0.5)) {
+      auto path =
+          route.tables.path(hx.topo(), lids, src, lids.base_lid(dst));
+      m.path = std::move(path.channels);
+      m.vl = route.vls.vl(hx.topo().attach_switch(src), lids.base_lid(dst));
+    }  // else: adaptive (path-less)
+    msgs.push_back(std::move(m));
+  }
+
+  PktSimConfig cfg;
+  cfg.adaptive = &dal;
+  PktSim sim(hx.topo(), cfg);
+  const auto result = sim.run(msgs);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_EQ(result.packets_delivered, result.packets_total);
+  for (std::size_t m = 0; m < msgs.size(); ++m) {
+    EXPECT_FALSE(std::isnan(result.completion[m]));
+    EXPECT_GE(result.completion[m], msgs[m].inject_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MessageCounts, PktConservation,
+                         ::testing::Values(4, 32, 128),
+                         ::testing::PrintToStringParamName());
+
+// --- adaptive routing (DAL) ------------------------------------------------------
+
+class DalSuite : public ::testing::Test {
+ protected:
+  DalSuite() : hx_(topo::paper_hyperx_params()), dal_(hx_) {}
+
+  /// A path-less message routed adaptively.
+  static PktMessage adaptive_msg(NodeId src, NodeId dst, std::int64_t bytes) {
+    PktMessage m;
+    m.src = src;
+    m.dst = dst;
+    m.bytes = bytes;
+    return m;
+  }
+
+  topo::HyperX hx_;
+  DalRouter dal_;
+};
+
+TEST_F(DalSuite, CandidatesCoverMinimalAndDeroute) {
+  // Switch (0,0) -> node on (3,0): one minimal x-channel, plus deroutes to
+  // the 10 other x coords and nothing in y (aligned).
+  const topo::SwitchId sw = hx_.switch_at(std::vector<std::int32_t>{0, 0});
+  const topo::SwitchId target = hx_.switch_at(std::vector<std::int32_t>{3, 0});
+  const NodeId dst = hx_.topo().switch_terminals(target)[0];
+  std::vector<RouteCandidate> cands;
+  AdaptiveState fresh;
+  dal_.candidates(sw, dst, fresh, cands);
+  std::int32_t minimal = 0;
+  std::int32_t deroutes = 0;
+  for (const RouteCandidate& c : cands) (c.minimal ? minimal : deroutes)++;
+  EXPECT_EQ(minimal, 1);
+  EXPECT_EQ(deroutes, 10);  // 12 x-coords minus own minus target
+}
+
+TEST_F(DalSuite, DerouteOncePerDimension) {
+  const topo::SwitchId sw = hx_.switch_at(std::vector<std::int32_t>{0, 0});
+  const topo::SwitchId target = hx_.switch_at(std::vector<std::int32_t>{3, 0});
+  const NodeId dst = hx_.topo().switch_terminals(target)[0];
+  AdaptiveState state;
+  state.deroute_mask = 1;  // already derouted in dimension 0
+  std::vector<RouteCandidate> cands;
+  dal_.candidates(sw, dst, state, cands);
+  for (const RouteCandidate& c : cands) EXPECT_TRUE(c.minimal);
+}
+
+TEST_F(DalSuite, OnHopTracksState) {
+  const topo::SwitchId sw = hx_.switch_at(std::vector<std::int32_t>{0, 0});
+  AdaptiveState state;
+  RouteCandidate deroute{hx_.dim_channel(sw, 0, 5), false};
+  dal_.on_hop(deroute, state);
+  EXPECT_EQ(state.hops_taken, 1);
+  EXPECT_EQ(state.deroute_mask, 1);
+  RouteCandidate minimal{hx_.dim_channel(sw, 1, 3), true};
+  dal_.on_hop(minimal, state);
+  EXPECT_EQ(state.hops_taken, 2);
+  EXPECT_EQ(state.deroute_mask, 1);
+}
+
+TEST_F(DalSuite, MaxHopsWithinVlBudget) {
+  EXPECT_EQ(dal_.max_hops(), 4);  // 2 dims x (minimal + deroute)
+  const DalRouter minimal_only = make_minimal_adaptive(hx_);
+  EXPECT_EQ(minimal_only.max_hops(), 2);
+}
+
+TEST_F(DalSuite, DeliversAllAdaptiveTraffic) {
+  PktSimConfig cfg;
+  cfg.adaptive = &dal_;
+  PktSim sim(hx_.topo(), cfg);
+  std::vector<PktMessage> msgs;
+  stats::Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    const auto src = static_cast<NodeId>(rng.next_below(672));
+    const auto dst = static_cast<NodeId>(rng.next_below(672));
+    if (src == dst) continue;
+    msgs.push_back(adaptive_msg(src, dst, 16 * 1024));
+  }
+  const auto result = sim.run(msgs);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_EQ(result.packets_delivered, result.packets_total);
+}
+
+TEST_F(DalSuite, BeatsStaticMinimalOnTheSharedCableHotspot) {
+  // The paper's premise (footnote 3): adaptive routing obsoletes the PARX
+  // workaround.  Seven streams between two adjacent switches: static
+  // minimal routing serialises them on one cable; DAL spreads them.
+  routing::LidSpace lids =
+      routing::LidSpace::consecutive(hx_.topo().num_terminals(), 0);
+  routing::DfssspEngine engine(8);
+  const routing::RouteResult route = engine.compute(hx_.topo(), lids);
+
+  const std::int64_t bytes = 512 * 1024;
+  std::vector<PktMessage> static_msgs;
+  std::vector<PktMessage> adaptive_msgs;
+  for (std::int32_t i = 0; i < 7; ++i) {
+    const NodeId src = hx_.topo().switch_terminals(0)[i];
+    const NodeId dst = hx_.topo().switch_terminals(1)[i];
+    auto path = route.tables.path(hx_.topo(), lids, src, lids.base_lid(dst));
+    PktMessage m;
+    m.src = src;
+    m.dst = dst;
+    m.bytes = bytes;
+    m.path = std::move(path.channels);
+    static_msgs.push_back(std::move(m));
+    adaptive_msgs.push_back(adaptive_msg(src, dst, bytes));
+  }
+
+  PktSim static_sim(hx_.topo(), PktSimConfig{});
+  PktSimConfig adaptive_cfg;
+  adaptive_cfg.adaptive = &dal_;
+  PktSim adaptive_sim(hx_.topo(), adaptive_cfg);
+
+  auto worst = [](const PktSim::Result& r) {
+    double w = 0.0;
+    for (double t : r.completion) w = std::max(w, t);
+    return w;
+  };
+  const double t_static = worst(static_sim.run(static_msgs));
+  const double t_dal = worst(adaptive_sim.run(adaptive_msgs));
+  EXPECT_FALSE(std::isnan(t_static));
+  EXPECT_LT(t_dal, t_static / 2.0);  // paper's cable carries 7 streams
+}
+
+TEST_F(DalSuite, MinimalAdaptiveCannotEscapeTheHotspot) {
+  // Without the deroute arm the single minimal cable stays the only
+  // option -- the hotspot persists (this is what separates DAL from
+  // minimal-adaptive).
+  const DalRouter minimal_only = make_minimal_adaptive(hx_);
+  const std::int64_t bytes = 512 * 1024;
+  std::vector<PktMessage> msgs;
+  for (std::int32_t i = 0; i < 7; ++i)
+    msgs.push_back(adaptive_msg(hx_.topo().switch_terminals(0)[i],
+                                hx_.topo().switch_terminals(1)[i], bytes));
+
+  PktSimConfig min_cfg;
+  min_cfg.adaptive = &minimal_only;
+  PktSim min_sim(hx_.topo(), min_cfg);
+  PktSimConfig dal_cfg;
+  dal_cfg.adaptive = &dal_;
+  PktSim dal_sim(hx_.topo(), dal_cfg);
+
+  auto worst = [](const PktSim::Result& r) {
+    double w = 0.0;
+    for (double t : r.completion) w = std::max(w, t);
+    return w;
+  };
+  EXPECT_GT(worst(min_sim.run(msgs)), 2.0 * worst(dal_sim.run(msgs)));
+}
+
+
+TEST_F(DalSuite, ValiantDeliversAndDoublesPaths) {
+  const ValiantRouter val(hx_, 7);
+  PktSimConfig cfg;
+  cfg.adaptive = &val;
+  PktSim sim(hx_.topo(), cfg);
+  std::vector<PktMessage> msgs;
+  stats::Rng rng(9);
+  for (int i = 0; i < 64; ++i) {
+    const auto src = static_cast<NodeId>(rng.next_below(672));
+    const auto dst = static_cast<NodeId>(rng.next_below(672));
+    if (src == dst) continue;
+    msgs.push_back(adaptive_msg(src, dst, 8 * 1024));
+  }
+  const auto result = sim.run(msgs);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_EQ(result.packets_delivered, result.packets_total);
+}
+
+TEST_F(DalSuite, ValiantSpreadsTheAdversarialHotspot) {
+  // VAL is worst-case oblivious: the 7-stream hotspot becomes two
+  // uniform-random phases and beats static minimal routing.
+  const ValiantRouter val(hx_, 7);
+  const std::int64_t bytes = 512 * 1024;
+  std::vector<PktMessage> msgs;
+  for (std::int32_t i = 0; i < 7; ++i)
+    msgs.push_back(adaptive_msg(hx_.topo().switch_terminals(0)[i],
+                                hx_.topo().switch_terminals(1)[i], bytes));
+  PktSimConfig val_cfg;
+  val_cfg.adaptive = &val;
+  PktSim val_sim(hx_.topo(), val_cfg);
+  const DalRouter minimal_only = make_minimal_adaptive(hx_);
+  PktSimConfig min_cfg;
+  min_cfg.adaptive = &minimal_only;
+  PktSim min_sim(hx_.topo(), min_cfg);
+
+  auto worst = [](const PktSim::Result& r) {
+    double w = 0.0;
+    for (double t : r.completion) w = std::max(w, t);
+    return w;
+  };
+  EXPECT_LT(worst(val_sim.run(msgs)), worst(min_sim.run(msgs)) / 1.5);
+}
+
+TEST_F(DalSuite, ValiantMaxHopsIsTwoSegments) {
+  const ValiantRouter val(hx_, 1);
+  EXPECT_EQ(val.max_hops(), 4);
+}
+
+TEST_F(DalSuite, RejectsPathlessMessageWithoutRouter) {
+  PktSim sim(hx_.topo(), PktSimConfig{});
+  EXPECT_THROW((void)sim.run(std::vector<PktMessage>{adaptive_msg(0, 9, 64)}),
+               std::invalid_argument);
+}
+
+TEST_F(DalSuite, RejectsRouterExceedingVlBudget) {
+  PktSimConfig cfg;
+  cfg.adaptive = &dal_;
+  cfg.num_vls = 2;  // DAL needs 4
+  EXPECT_THROW(PktSim(hx_.topo(), cfg), std::invalid_argument);
+}
+}  // namespace
+}  // namespace hxsim::sim
