@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parx.dir/ablation_parx.cpp.o"
+  "CMakeFiles/ablation_parx.dir/ablation_parx.cpp.o.d"
+  "ablation_parx"
+  "ablation_parx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

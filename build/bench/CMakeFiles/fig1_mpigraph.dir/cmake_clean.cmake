@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mpigraph.dir/fig1_mpigraph.cpp.o"
+  "CMakeFiles/fig1_mpigraph.dir/fig1_mpigraph.cpp.o.d"
+  "fig1_mpigraph"
+  "fig1_mpigraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mpigraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

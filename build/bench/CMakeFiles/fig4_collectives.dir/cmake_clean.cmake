@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_collectives.dir/fig4_collectives.cpp.o"
+  "CMakeFiles/fig4_collectives.dir/fig4_collectives.cpp.o.d"
+  "fig4_collectives"
+  "fig4_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_baidu_allreduce.dir/fig5a_baidu_allreduce.cpp.o"
+  "CMakeFiles/fig5a_baidu_allreduce.dir/fig5a_baidu_allreduce.cpp.o.d"
+  "fig5a_baidu_allreduce"
+  "fig5a_baidu_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_baidu_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_barrier.dir/fig5b_barrier.cpp.o"
+  "CMakeFiles/fig5b_barrier.dir/fig5b_barrier.cpp.o.d"
+  "fig5b_barrier"
+  "fig5b_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_ebb.dir/fig5c_ebb.cpp.o"
+  "CMakeFiles/fig5c_ebb.dir/fig5c_ebb.cpp.o.d"
+  "fig5c_ebb"
+  "fig5c_ebb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_ebb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

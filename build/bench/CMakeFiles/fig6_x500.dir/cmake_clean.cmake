@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_x500.dir/fig6_x500.cpp.o"
+  "CMakeFiles/fig6_x500.dir/fig6_x500.cpp.o.d"
+  "fig6_x500"
+  "fig6_x500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_x500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rules.dir/table1_rules.cpp.o"
+  "CMakeFiles/table1_rules.dir/table1_rules.cpp.o.d"
+  "table1_rules"
+  "table1_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

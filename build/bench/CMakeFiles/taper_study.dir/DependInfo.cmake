@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/taper_study.cpp" "bench/CMakeFiles/taper_study.dir/taper_study.cpp.o" "gcc" "bench/CMakeFiles/taper_study.dir/taper_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taper_study.dir/taper_study.cpp.o"
+  "CMakeFiles/taper_study.dir/taper_study.cpp.o.d"
+  "taper_study"
+  "taper_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taper_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_properties.dir/topology_properties.cpp.o"
+  "CMakeFiles/topology_properties.dir/topology_properties.cpp.o.d"
+  "topology_properties"
+  "topology_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

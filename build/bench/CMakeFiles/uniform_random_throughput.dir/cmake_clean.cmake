@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniform_random_throughput.dir/uniform_random_throughput.cpp.o"
+  "CMakeFiles/uniform_random_throughput.dir/uniform_random_throughput.cpp.o.d"
+  "uniform_random_throughput"
+  "uniform_random_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniform_random_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_scheduler.dir/capacity_scheduler.cpp.o"
+  "CMakeFiles/capacity_scheduler.dir/capacity_scheduler.cpp.o.d"
+  "capacity_scheduler"
+  "capacity_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

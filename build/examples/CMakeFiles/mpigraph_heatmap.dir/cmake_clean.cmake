@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpigraph_heatmap.dir/mpigraph_heatmap.cpp.o"
+  "CMakeFiles/mpigraph_heatmap.dir/mpigraph_heatmap.cpp.o.d"
+  "mpigraph_heatmap"
+  "mpigraph_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpigraph_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

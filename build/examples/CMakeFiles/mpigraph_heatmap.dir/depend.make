@@ -1,0 +1,2 @@
+# Empty dependencies file for mpigraph_heatmap.
+# This may be replaced when dependencies are built.

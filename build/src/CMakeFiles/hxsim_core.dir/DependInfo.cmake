@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/demand.cpp" "src/CMakeFiles/hxsim_core.dir/core/demand.cpp.o" "gcc" "src/CMakeFiles/hxsim_core.dir/core/demand.cpp.o.d"
+  "/root/repo/src/core/demand_io.cpp" "src/CMakeFiles/hxsim_core.dir/core/demand_io.cpp.o" "gcc" "src/CMakeFiles/hxsim_core.dir/core/demand_io.cpp.o.d"
+  "/root/repo/src/core/lid_choice.cpp" "src/CMakeFiles/hxsim_core.dir/core/lid_choice.cpp.o" "gcc" "src/CMakeFiles/hxsim_core.dir/core/lid_choice.cpp.o.d"
+  "/root/repo/src/core/parx.cpp" "src/CMakeFiles/hxsim_core.dir/core/parx.cpp.o" "gcc" "src/CMakeFiles/hxsim_core.dir/core/parx.cpp.o.d"
+  "/root/repo/src/core/quadrant.cpp" "src/CMakeFiles/hxsim_core.dir/core/quadrant.cpp.o" "gcc" "src/CMakeFiles/hxsim_core.dir/core/quadrant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxsim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxsim_core.dir/core/demand.cpp.o"
+  "CMakeFiles/hxsim_core.dir/core/demand.cpp.o.d"
+  "CMakeFiles/hxsim_core.dir/core/demand_io.cpp.o"
+  "CMakeFiles/hxsim_core.dir/core/demand_io.cpp.o.d"
+  "CMakeFiles/hxsim_core.dir/core/lid_choice.cpp.o"
+  "CMakeFiles/hxsim_core.dir/core/lid_choice.cpp.o.d"
+  "CMakeFiles/hxsim_core.dir/core/parx.cpp.o"
+  "CMakeFiles/hxsim_core.dir/core/parx.cpp.o.d"
+  "CMakeFiles/hxsim_core.dir/core/quadrant.cpp.o"
+  "CMakeFiles/hxsim_core.dir/core/quadrant.cpp.o.d"
+  "libhxsim_core.a"
+  "libhxsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/cluster.cpp" "src/CMakeFiles/hxsim_mpi.dir/mpi/cluster.cpp.o" "gcc" "src/CMakeFiles/hxsim_mpi.dir/mpi/cluster.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/hxsim_mpi.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/hxsim_mpi.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/placement.cpp" "src/CMakeFiles/hxsim_mpi.dir/mpi/placement.cpp.o" "gcc" "src/CMakeFiles/hxsim_mpi.dir/mpi/placement.cpp.o.d"
+  "/root/repo/src/mpi/pml.cpp" "src/CMakeFiles/hxsim_mpi.dir/mpi/pml.cpp.o" "gcc" "src/CMakeFiles/hxsim_mpi.dir/mpi/pml.cpp.o.d"
+  "/root/repo/src/mpi/profile.cpp" "src/CMakeFiles/hxsim_mpi.dir/mpi/profile.cpp.o" "gcc" "src/CMakeFiles/hxsim_mpi.dir/mpi/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxsim_mpi.dir/mpi/cluster.cpp.o"
+  "CMakeFiles/hxsim_mpi.dir/mpi/cluster.cpp.o.d"
+  "CMakeFiles/hxsim_mpi.dir/mpi/collectives.cpp.o"
+  "CMakeFiles/hxsim_mpi.dir/mpi/collectives.cpp.o.d"
+  "CMakeFiles/hxsim_mpi.dir/mpi/placement.cpp.o"
+  "CMakeFiles/hxsim_mpi.dir/mpi/placement.cpp.o.d"
+  "CMakeFiles/hxsim_mpi.dir/mpi/pml.cpp.o"
+  "CMakeFiles/hxsim_mpi.dir/mpi/pml.cpp.o.d"
+  "CMakeFiles/hxsim_mpi.dir/mpi/profile.cpp.o"
+  "CMakeFiles/hxsim_mpi.dir/mpi/profile.cpp.o.d"
+  "libhxsim_mpi.a"
+  "libhxsim_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxsim_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

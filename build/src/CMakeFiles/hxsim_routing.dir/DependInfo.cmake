@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/cdg.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/cdg.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/cdg.cpp.o.d"
+  "/root/repo/src/routing/dfsssp.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/dfsssp.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/dfsssp.cpp.o.d"
+  "/root/repo/src/routing/engine.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/engine.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/engine.cpp.o.d"
+  "/root/repo/src/routing/forwarding.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/forwarding.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/forwarding.cpp.o.d"
+  "/root/repo/src/routing/ftree.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/ftree.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/ftree.cpp.o.d"
+  "/root/repo/src/routing/lid_space.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/lid_space.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/lid_space.cpp.o.d"
+  "/root/repo/src/routing/spf.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/spf.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/spf.cpp.o.d"
+  "/root/repo/src/routing/sssp.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/sssp.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/sssp.cpp.o.d"
+  "/root/repo/src/routing/updown.cpp" "src/CMakeFiles/hxsim_routing.dir/routing/updown.cpp.o" "gcc" "src/CMakeFiles/hxsim_routing.dir/routing/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

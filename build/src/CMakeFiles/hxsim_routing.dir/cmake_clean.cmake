@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxsim_routing.dir/routing/cdg.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/cdg.cpp.o.d"
+  "CMakeFiles/hxsim_routing.dir/routing/dfsssp.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/dfsssp.cpp.o.d"
+  "CMakeFiles/hxsim_routing.dir/routing/engine.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/engine.cpp.o.d"
+  "CMakeFiles/hxsim_routing.dir/routing/forwarding.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/forwarding.cpp.o.d"
+  "CMakeFiles/hxsim_routing.dir/routing/ftree.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/ftree.cpp.o.d"
+  "CMakeFiles/hxsim_routing.dir/routing/lid_space.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/lid_space.cpp.o.d"
+  "CMakeFiles/hxsim_routing.dir/routing/spf.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/spf.cpp.o.d"
+  "CMakeFiles/hxsim_routing.dir/routing/sssp.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/sssp.cpp.o.d"
+  "CMakeFiles/hxsim_routing.dir/routing/updown.cpp.o"
+  "CMakeFiles/hxsim_routing.dir/routing/updown.cpp.o.d"
+  "libhxsim_routing.a"
+  "libhxsim_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxsim_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adaptive.cpp" "src/CMakeFiles/hxsim_sim.dir/sim/adaptive.cpp.o" "gcc" "src/CMakeFiles/hxsim_sim.dir/sim/adaptive.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/hxsim_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/hxsim_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/flowsim.cpp" "src/CMakeFiles/hxsim_sim.dir/sim/flowsim.cpp.o" "gcc" "src/CMakeFiles/hxsim_sim.dir/sim/flowsim.cpp.o.d"
+  "/root/repo/src/sim/network_model.cpp" "src/CMakeFiles/hxsim_sim.dir/sim/network_model.cpp.o" "gcc" "src/CMakeFiles/hxsim_sim.dir/sim/network_model.cpp.o.d"
+  "/root/repo/src/sim/pktsim.cpp" "src/CMakeFiles/hxsim_sim.dir/sim/pktsim.cpp.o" "gcc" "src/CMakeFiles/hxsim_sim.dir/sim/pktsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxsim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

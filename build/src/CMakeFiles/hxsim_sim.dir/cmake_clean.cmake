@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxsim_sim.dir/sim/adaptive.cpp.o"
+  "CMakeFiles/hxsim_sim.dir/sim/adaptive.cpp.o.d"
+  "CMakeFiles/hxsim_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/hxsim_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/hxsim_sim.dir/sim/flowsim.cpp.o"
+  "CMakeFiles/hxsim_sim.dir/sim/flowsim.cpp.o.d"
+  "CMakeFiles/hxsim_sim.dir/sim/network_model.cpp.o"
+  "CMakeFiles/hxsim_sim.dir/sim/network_model.cpp.o.d"
+  "CMakeFiles/hxsim_sim.dir/sim/pktsim.cpp.o"
+  "CMakeFiles/hxsim_sim.dir/sim/pktsim.cpp.o.d"
+  "libhxsim_sim.a"
+  "libhxsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

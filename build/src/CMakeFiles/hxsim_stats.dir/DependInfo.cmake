@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/csv.cpp" "src/CMakeFiles/hxsim_stats.dir/stats/csv.cpp.o" "gcc" "src/CMakeFiles/hxsim_stats.dir/stats/csv.cpp.o.d"
+  "/root/repo/src/stats/gain.cpp" "src/CMakeFiles/hxsim_stats.dir/stats/gain.cpp.o" "gcc" "src/CMakeFiles/hxsim_stats.dir/stats/gain.cpp.o.d"
+  "/root/repo/src/stats/heatmap.cpp" "src/CMakeFiles/hxsim_stats.dir/stats/heatmap.cpp.o" "gcc" "src/CMakeFiles/hxsim_stats.dir/stats/heatmap.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/CMakeFiles/hxsim_stats.dir/stats/rng.cpp.o" "gcc" "src/CMakeFiles/hxsim_stats.dir/stats/rng.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/hxsim_stats.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/hxsim_stats.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/hxsim_stats.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/hxsim_stats.dir/stats/table.cpp.o.d"
+  "/root/repo/src/stats/units.cpp" "src/CMakeFiles/hxsim_stats.dir/stats/units.cpp.o" "gcc" "src/CMakeFiles/hxsim_stats.dir/stats/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxsim_stats.dir/stats/csv.cpp.o"
+  "CMakeFiles/hxsim_stats.dir/stats/csv.cpp.o.d"
+  "CMakeFiles/hxsim_stats.dir/stats/gain.cpp.o"
+  "CMakeFiles/hxsim_stats.dir/stats/gain.cpp.o.d"
+  "CMakeFiles/hxsim_stats.dir/stats/heatmap.cpp.o"
+  "CMakeFiles/hxsim_stats.dir/stats/heatmap.cpp.o.d"
+  "CMakeFiles/hxsim_stats.dir/stats/rng.cpp.o"
+  "CMakeFiles/hxsim_stats.dir/stats/rng.cpp.o.d"
+  "CMakeFiles/hxsim_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/hxsim_stats.dir/stats/summary.cpp.o.d"
+  "CMakeFiles/hxsim_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/hxsim_stats.dir/stats/table.cpp.o.d"
+  "CMakeFiles/hxsim_stats.dir/stats/units.cpp.o"
+  "CMakeFiles/hxsim_stats.dir/stats/units.cpp.o.d"
+  "libhxsim_stats.a"
+  "libhxsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

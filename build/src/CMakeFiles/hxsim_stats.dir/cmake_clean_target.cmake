@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhxsim_stats.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/bisection.cpp" "src/CMakeFiles/hxsim_topo.dir/topo/bisection.cpp.o" "gcc" "src/CMakeFiles/hxsim_topo.dir/topo/bisection.cpp.o.d"
+  "/root/repo/src/topo/dragonfly.cpp" "src/CMakeFiles/hxsim_topo.dir/topo/dragonfly.cpp.o" "gcc" "src/CMakeFiles/hxsim_topo.dir/topo/dragonfly.cpp.o.d"
+  "/root/repo/src/topo/fat_tree.cpp" "src/CMakeFiles/hxsim_topo.dir/topo/fat_tree.cpp.o" "gcc" "src/CMakeFiles/hxsim_topo.dir/topo/fat_tree.cpp.o.d"
+  "/root/repo/src/topo/fault_injector.cpp" "src/CMakeFiles/hxsim_topo.dir/topo/fault_injector.cpp.o" "gcc" "src/CMakeFiles/hxsim_topo.dir/topo/fault_injector.cpp.o.d"
+  "/root/repo/src/topo/hyperx.cpp" "src/CMakeFiles/hxsim_topo.dir/topo/hyperx.cpp.o" "gcc" "src/CMakeFiles/hxsim_topo.dir/topo/hyperx.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/hxsim_topo.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/hxsim_topo.dir/topo/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

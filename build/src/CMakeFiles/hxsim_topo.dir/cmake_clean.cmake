@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxsim_topo.dir/topo/bisection.cpp.o"
+  "CMakeFiles/hxsim_topo.dir/topo/bisection.cpp.o.d"
+  "CMakeFiles/hxsim_topo.dir/topo/dragonfly.cpp.o"
+  "CMakeFiles/hxsim_topo.dir/topo/dragonfly.cpp.o.d"
+  "CMakeFiles/hxsim_topo.dir/topo/fat_tree.cpp.o"
+  "CMakeFiles/hxsim_topo.dir/topo/fat_tree.cpp.o.d"
+  "CMakeFiles/hxsim_topo.dir/topo/fault_injector.cpp.o"
+  "CMakeFiles/hxsim_topo.dir/topo/fault_injector.cpp.o.d"
+  "CMakeFiles/hxsim_topo.dir/topo/hyperx.cpp.o"
+  "CMakeFiles/hxsim_topo.dir/topo/hyperx.cpp.o.d"
+  "CMakeFiles/hxsim_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/hxsim_topo.dir/topo/topology.cpp.o.d"
+  "libhxsim_topo.a"
+  "libhxsim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxsim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

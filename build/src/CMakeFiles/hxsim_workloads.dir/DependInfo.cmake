@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps.cpp" "src/CMakeFiles/hxsim_workloads.dir/workloads/apps.cpp.o" "gcc" "src/CMakeFiles/hxsim_workloads.dir/workloads/apps.cpp.o.d"
+  "/root/repo/src/workloads/capacity.cpp" "src/CMakeFiles/hxsim_workloads.dir/workloads/capacity.cpp.o" "gcc" "src/CMakeFiles/hxsim_workloads.dir/workloads/capacity.cpp.o.d"
+  "/root/repo/src/workloads/ebb.cpp" "src/CMakeFiles/hxsim_workloads.dir/workloads/ebb.cpp.o" "gcc" "src/CMakeFiles/hxsim_workloads.dir/workloads/ebb.cpp.o.d"
+  "/root/repo/src/workloads/imb.cpp" "src/CMakeFiles/hxsim_workloads.dir/workloads/imb.cpp.o" "gcc" "src/CMakeFiles/hxsim_workloads.dir/workloads/imb.cpp.o.d"
+  "/root/repo/src/workloads/mpigraph.cpp" "src/CMakeFiles/hxsim_workloads.dir/workloads/mpigraph.cpp.o" "gcc" "src/CMakeFiles/hxsim_workloads.dir/workloads/mpigraph.cpp.o.d"
+  "/root/repo/src/workloads/paper_system.cpp" "src/CMakeFiles/hxsim_workloads.dir/workloads/paper_system.cpp.o" "gcc" "src/CMakeFiles/hxsim_workloads.dir/workloads/paper_system.cpp.o.d"
+  "/root/repo/src/workloads/x500.cpp" "src/CMakeFiles/hxsim_workloads.dir/workloads/x500.cpp.o" "gcc" "src/CMakeFiles/hxsim_workloads.dir/workloads/x500.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxsim_workloads.dir/workloads/apps.cpp.o"
+  "CMakeFiles/hxsim_workloads.dir/workloads/apps.cpp.o.d"
+  "CMakeFiles/hxsim_workloads.dir/workloads/capacity.cpp.o"
+  "CMakeFiles/hxsim_workloads.dir/workloads/capacity.cpp.o.d"
+  "CMakeFiles/hxsim_workloads.dir/workloads/ebb.cpp.o"
+  "CMakeFiles/hxsim_workloads.dir/workloads/ebb.cpp.o.d"
+  "CMakeFiles/hxsim_workloads.dir/workloads/imb.cpp.o"
+  "CMakeFiles/hxsim_workloads.dir/workloads/imb.cpp.o.d"
+  "CMakeFiles/hxsim_workloads.dir/workloads/mpigraph.cpp.o"
+  "CMakeFiles/hxsim_workloads.dir/workloads/mpigraph.cpp.o.d"
+  "CMakeFiles/hxsim_workloads.dir/workloads/paper_system.cpp.o"
+  "CMakeFiles/hxsim_workloads.dir/workloads/paper_system.cpp.o.d"
+  "CMakeFiles/hxsim_workloads.dir/workloads/x500.cpp.o"
+  "CMakeFiles/hxsim_workloads.dir/workloads/x500.cpp.o.d"
+  "libhxsim_workloads.a"
+  "libhxsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
