@@ -5,15 +5,19 @@
 //   --csv <path>     additionally dump machine-readable CSV
 //   --seed <n>       base seed for the stochastic elements
 //   --reps <n>       repetitions for configurations with randomness
+//   --threads <n>    worker threads for the exec/ layer (default: all
+//                    hardware threads); results are identical at any count
 // and prints the paper's rows/series to stdout.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "mpi/cluster.hpp"
 #include "stats/csv.hpp"
 #include "workloads/paper_system.hpp"
@@ -25,6 +29,7 @@ struct BenchArgs {
   std::optional<std::string> csv_path;
   std::uint64_t seed = 1;
   std::int32_t reps = 3;
+  std::int32_t threads = 0;  // 0: hardware_concurrency
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -45,15 +50,22 @@ struct BenchArgs {
         args.seed = std::stoull(next());
       } else if (arg == "--reps") {
         args.reps = std::stoi(next());
+      } else if (arg == "--threads") {
+        args.threads = std::stoi(next());
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("usage: %s [--quick] [--csv file] [--seed n] [--reps n]\n",
-                    argv[0]);
+        std::printf(
+            "usage: %s [--quick] [--csv file] [--seed n] [--reps n] "
+            "[--threads n]\n",
+            argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
         std::exit(2);
       }
     }
+    // Engines and simulators resolve threads == 0 through this default,
+    // so one flag configures the whole binary.
+    exec::set_default_threads(args.threads);
     return args;
   }
 
@@ -81,6 +93,65 @@ struct BenchArgs {
   const auto pool = mpi::Placement::whole_machine(machine_nodes);
   return mpi::Placement::make(config.placement, nranks, pool, rng);
 }
+
+/// Wall-clock stopwatch for per-phase timing.
+class PhaseClock {
+ public:
+  PhaseClock() : start_(std::chrono::steady_clock::now()) {}
+  /// Seconds since construction or the last lap() call.
+  double lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable perf record: every bench that times phases appends
+/// {name, metrics} entries and writes one BENCH_<bench>.json so the perf
+/// trajectory of the hot paths is tracked in-repo from PR to PR.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& phase,
+           const std::vector<std::pair<std::string, double>>& metrics) {
+    entries_.push_back({phase, metrics});
+  }
+
+  /// Writes BENCH_<bench>.json into `dir` (default: working directory).
+  void write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"phases\": [\n",
+                 bench_name_.c_str());
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      std::fprintf(f, "    {\"name\": \"%s\"", entries_[e].phase.c_str());
+      for (const auto& [key, value] : entries_[e].metrics)
+        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      std::fprintf(f, "}%s\n", e + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string phase;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
 
 /// Optional CSV sink (no-op when --csv is absent).
 class CsvSink {

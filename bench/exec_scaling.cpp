@@ -1,0 +1,133 @@
+// Thread-scaling bench for the exec/ layer: times full-fabric route
+// computation (DFSSSP, ftree) and batched max-min flow solves at 1..N
+// threads, asserts that every parallel run is bit-identical to the
+// 1-thread run, and records the wall times + speedups in BENCH_exec.json
+// (committed, so the perf trajectory is tracked from PR to PR).
+//
+//   ./exec_scaling [--quick] [--threads n] [--seed n]
+//
+// --threads caps the largest thread count tried (default: hardware).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/ftree.hpp"
+#include "sim/flowsim.hpp"
+#include "stats/rng.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/hyperx.hpp"
+
+namespace {
+
+using namespace hxsim;
+
+std::vector<std::int32_t> thread_points(std::int32_t max_threads) {
+  std::vector<std::int32_t> pts{1};
+  for (std::int32_t t = 2; t < max_threads; t *= 2) pts.push_back(t);
+  if (max_threads > 1) pts.push_back(max_threads);
+  return pts;
+}
+
+/// Times `run(threads)` for every thread point; verifies results against
+/// the 1-thread reference with `equal`; records phase entries.
+template <typename Result, typename Run, typename Equal>
+void sweep(const char* phase, const std::vector<std::int32_t>& points,
+           std::int32_t reps, bench::BenchJson& json, const Run& run,
+           const Equal& equal) {
+  double base_seconds = 0.0;
+  Result reference;
+  for (const std::int32_t t : points) {
+    bench::PhaseClock clock;
+    Result result;
+    for (std::int32_t r = 0; r < reps; ++r) result = run(t);
+    const double seconds = clock.lap() / reps;
+    if (t == 1) {
+      base_seconds = seconds;
+      reference = std::move(result);
+    } else if (!equal(reference, result)) {
+      std::fprintf(stderr, "%s: %d-thread result differs from 1-thread!\n",
+                   phase, t);
+      std::exit(1);
+    }
+    const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+    std::printf("%-28s threads=%-2d  %8.1f ms  speedup %.2fx\n", phase, t,
+                seconds * 1e3, speedup);
+    json.add(phase, {{"threads", static_cast<double>(t)},
+                     {"seconds", seconds},
+                     {"speedup", speedup}});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::int32_t max_threads =
+      args.threads > 0 ? args.threads : exec::hardware_threads();
+  const auto points = thread_points(max_threads);
+  const std::int32_t reps = args.quick ? 1 : std::max(args.reps, 1);
+  bench::BenchJson json("exec");
+  json.add("machine", {{"hardware_threads",
+                        static_cast<double>(exec::hardware_threads())},
+                       {"max_threads", static_cast<double>(max_threads)}});
+
+  // --- full-fabric DFSSSP on the 12x8 HyperX (paper default routing) ----
+  const topo::HyperX hx(args.quick ? topo::small_hyperx_params()
+                                   : topo::paper_hyperx_params());
+  const auto hx_lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  sweep<routing::RouteResult>(
+      "dfsssp_hyperx_12x8", points, reps, json,
+      [&](std::int32_t t) {
+        routing::DfssspEngine engine(8, t);
+        return engine.compute(hx.topo(), hx_lids);
+      },
+      [](const routing::RouteResult& a, const routing::RouteResult& b) {
+        return a == b;
+      });
+
+  // --- full-fabric ftree on the 3-level fat-tree ------------------------
+  const topo::FatTree ft(args.quick ? topo::small_fat_tree_params()
+                                    : topo::paper_fat_tree_params());
+  const auto ft_lids =
+      routing::LidSpace::consecutive(ft.topo().num_terminals(), 0);
+  sweep<routing::RouteResult>(
+      "ftree_paper_tree", points, reps, json,
+      [&](std::int32_t t) {
+        routing::FtreeEngine engine(ft, t);
+        return engine.compute(ft.topo(), ft_lids);
+      },
+      [](const routing::RouteResult& a, const routing::RouteResult& b) {
+        return a == b;
+      });
+
+  // --- batched max-min solves (mpiGraph-style shift rounds) -------------
+  routing::DfssspEngine engine(8, max_threads);
+  const auto route = engine.compute(hx.topo(), hx_lids);
+  const std::int32_t nodes = hx.topo().num_terminals();
+  const std::int32_t rounds_count = args.quick ? 16 : 64;
+  std::vector<std::vector<sim::Flow>> rounds;
+  for (std::int32_t shift = 1; shift <= rounds_count; ++shift) {
+    std::vector<sim::Flow> round;
+    for (std::int32_t i = 0; i < nodes; ++i) {
+      auto path = route.tables.path(
+          hx.topo(), hx_lids, i, hx_lids.base_lid((i + shift) % nodes));
+      round.push_back(sim::Flow{std::move(path.channels), 1 << 20});
+    }
+    rounds.push_back(std::move(round));
+  }
+  const sim::FlowSim sim(hx.topo());
+  sweep<std::vector<std::vector<double>>>(
+      "flowsim_batch_64rounds", points, reps, json,
+      [&](std::int32_t t) { return sim.solve_batch(rounds, t); },
+      [](const std::vector<std::vector<double>>& a,
+         const std::vector<std::vector<double>>& b) { return a == b; });
+
+  json.write(".");
+  std::printf("all parallel results bit-identical to 1-thread runs\n");
+  return 0;
+}

@@ -53,6 +53,34 @@ void BM_DfssspRoutePaperHyperX(benchmark::State& state) {
 }
 BENCHMARK(BM_DfssspRoutePaperHyperX)->Unit(benchmark::kMillisecond);
 
+// Thread scaling of the full-fabric DFSSSP route compute (the acceptance
+// path of the exec/ layer; exec_scaling writes the committed JSON record).
+void BM_DfssspRouteThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::int32_t>(state.range(0));
+  const topo::HyperX hx(topo::paper_hyperx_params());
+  const auto lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  for (auto _ : state) {
+    routing::DfssspEngine engine(8, threads);
+    benchmark::DoNotOptimize(engine.compute(hx.topo(), lids));
+  }
+}
+BENCHMARK(BM_DfssspRouteThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FtreeRouteThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::int32_t>(state.range(0));
+  const topo::FatTree ft(topo::paper_fat_tree_params());
+  const auto lids =
+      routing::LidSpace::consecutive(ft.topo().num_terminals(), 0);
+  for (auto _ : state) {
+    routing::FtreeEngine engine(ft, threads);
+    benchmark::DoNotOptimize(engine.compute(ft.topo(), lids));
+  }
+}
+BENCHMARK(BM_FtreeRouteThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ParxRoutePaperHyperX(benchmark::State& state) {
   const topo::HyperX hx(topo::paper_hyperx_params());
   const auto lids = core::make_parx_lid_space(hx);

@@ -14,7 +14,11 @@ namespace hxsim::routing {
 class DfssspEngine final : public RoutingEngine {
  public:
   /// max_vls: hardware virtual-lane budget (paper: 8 on QDR InfiniBand).
-  explicit DfssspEngine(std::int32_t max_vls = 8) : max_vls_(max_vls) {}
+  /// threads == 0 uses exec::default_threads(); the SSSP batch size is
+  /// forwarded so results stay bit-identical across thread counts.
+  explicit DfssspEngine(std::int32_t max_vls = 8, std::int32_t threads = 0,
+                        std::int32_t batch = SsspEngine::kDefaultBatch)
+      : max_vls_(max_vls), threads_(threads), batch_(batch) {}
 
   [[nodiscard]] std::string name() const override { return "dfsssp"; }
   [[nodiscard]] RouteResult compute(const topo::Topology& topo,
@@ -23,12 +27,17 @@ class DfssspEngine final : public RoutingEngine {
   /// Assigns virtual lanes for every (source switch, dlid) path of an
   /// existing table set; shared with the PARX engine.  Throws
   /// std::runtime_error if the paths cannot be layered within max_vls.
+  /// Path extraction runs on `threads` workers; the greedy VL placement
+  /// itself stays serial in (dlid, source) order, so the layering is
+  /// identical to the historical single-threaded walk.
   static void assign_vls(const topo::Topology& topo, const LidSpace& lids,
                          const ForwardingTables& tables, std::int32_t max_vls,
-                         RouteResult& result);
+                         RouteResult& result, std::int32_t threads = 0);
 
  private:
   std::int32_t max_vls_;
+  std::int32_t threads_;
+  std::int32_t batch_;
 };
 
 }  // namespace hxsim::routing

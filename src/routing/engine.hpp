@@ -30,6 +30,10 @@ struct RouteResult {
   /// paths themselves can be lost on faulty fabrics (paper footnote 7);
   /// the MPI layer then falls back to another LID.
   std::int64_t unreachable_entries = 0;
+
+  /// Field-wise equality; used to assert that parallel engine runs are
+  /// bit-identical to the 1-thread run.
+  [[nodiscard]] bool operator==(const RouteResult&) const = default;
 };
 
 class RoutingEngine {

@@ -55,6 +55,10 @@ class ForwardingTables {
                                const LidSpace& lids, topo::NodeId src,
                                Lid dlid) const;
 
+  /// Entry-wise equality (the determinism tests compare 1-thread vs
+  /// N-thread engine output).
+  [[nodiscard]] bool operator==(const ForwardingTables&) const = default;
+
  private:
   [[nodiscard]] std::size_t index(topo::SwitchId sw, Lid dlid) const {
     return static_cast<std::size_t>(sw) *
@@ -81,6 +85,8 @@ class VlMap {
                   static_cast<std::size_t>(dlid)];
   }
   [[nodiscard]] std::int8_t max_vl() const noexcept { return max_vl_; }
+
+  [[nodiscard]] bool operator==(const VlMap&) const = default;
 
  private:
   Lid max_lid_ = kInvalidLid;

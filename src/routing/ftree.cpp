@@ -2,9 +2,23 @@
 
 #include <stdexcept>
 
+#include "exec/exec.hpp"
 #include "routing/spf.hpp"
 
 namespace hxsim::routing {
+
+namespace {
+
+/// Per-worker state: the per-destination weight vector (reset after each
+/// destination via the touched list) plus Dijkstra scratch.
+struct FtreeScratch {
+  std::vector<double> weight;
+  std::vector<topo::ChannelId> touched;
+  SpfScratch spf;
+  SpfResult tree;
+};
+
+}  // namespace
 
 RouteResult FtreeEngine::compute(const topo::Topology& topo,
                                  const LidSpace& lids) {
@@ -25,44 +39,62 @@ RouteResult FtreeEngine::compute(const topo::Topology& topo,
   for (topo::SwitchId sw = 0; sw < topo.num_switches(); ++sw)
     rank[static_cast<std::size_t>(sw)] = (n - 1) - tree_->level_of(sw);
 
-  // Per-destination channel weights: canonical up channels (those matching
-  // the destination's root digits) get 1.0, the rest 1 + 1/64, so intact
-  // fabrics reproduce exact D-mod-K paths and faulty ones detour minimally.
-  constexpr double kDetourPenalty = 1.0 + 1.0 / 64.0;
-  std::vector<double> weight(static_cast<std::size_t>(topo.num_channels()),
-                             1.0);
-  std::vector<topo::ChannelId> touched;
-
   // With a leaf taper only roots whose digit 0 survives are usable.
   const std::int32_t root_digit0_bound =
       tree_->arity() / tree_->params().taper;
-  for (const Lid dlid : lids.all_lids()) {
-    const LidSpace::Owner owner = lids.owner(dlid);
-    std::int32_t root_word = dlid % tree_->switches_per_level();
-    if (tree_->digit(root_word, 0) >= root_digit0_bound)
-      root_word = tree_->with_digit(
-          root_word, 0, tree_->digit(root_word, 0) % root_digit0_bound);
 
-    touched.clear();
-    for (topo::SwitchId sw = 0; sw < topo.num_switches(); ++sw) {
-      const std::int32_t l = tree_->level_of(sw);
-      if (l == n - 1) continue;  // top level has no up channels
-      for (std::int32_t v = 0; v < k; ++v) {
-        if (v == tree_->digit(root_word, l)) continue;
-        const topo::ChannelId up = tree_->up_channel(sw, v);
-        if (up == topo::kInvalidChannel) continue;  // tapered-away uplink
-        weight[static_cast<std::size_t>(up)] = kDetourPenalty;
-        touched.push_back(up);
-      }
-    }
+  // Destinations are fully independent here (the weight vector is rebuilt
+  // per destination), so the loop parallelises without batching: each
+  // index touches only its own LFT column and unreachable slot, making the
+  // output identical for any thread count.
+  const std::vector<Lid> all = lids.all_lids();
+  std::vector<std::int64_t> unreachable(all.size(), 0);
 
-    const SpfResult tree = updown_spf_to(
-        topo, topo.attach_switch(owner.node), rank, weight);
-    res.unreachable_entries +=
-        apply_tree_to_tables(topo, tree, owner.node, dlid, res.tables);
+  exec::ThreadPool pool(threads_);
+  exec::ScratchArena<FtreeScratch> arena(pool);
+  constexpr double kDetourPenalty = 1.0 + 1.0 / 64.0;
 
-    for (topo::ChannelId ch : touched) weight[static_cast<std::size_t>(ch)] = 1.0;
-  }
+  pool.parallel_for(
+      static_cast<std::int64_t>(all.size()),
+      [&](std::int64_t d, std::int32_t worker) {
+        FtreeScratch& sc = arena.local(worker);
+        if (sc.weight.empty())
+          sc.weight.assign(static_cast<std::size_t>(topo.num_channels()), 1.0);
+
+        const Lid dlid = all[static_cast<std::size_t>(d)];
+        const LidSpace::Owner owner = lids.owner(dlid);
+        std::int32_t root_word = dlid % tree_->switches_per_level();
+        if (tree_->digit(root_word, 0) >= root_digit0_bound)
+          root_word = tree_->with_digit(
+              root_word, 0, tree_->digit(root_word, 0) % root_digit0_bound);
+
+        // Per-destination channel weights: canonical up channels (those
+        // matching the destination's root digits) get 1.0, the rest
+        // 1 + 1/64, so intact fabrics reproduce exact D-mod-K paths and
+        // faulty ones detour minimally.
+        sc.touched.clear();
+        for (topo::SwitchId sw = 0; sw < topo.num_switches(); ++sw) {
+          const std::int32_t l = tree_->level_of(sw);
+          if (l == n - 1) continue;  // top level has no up channels
+          for (std::int32_t v = 0; v < k; ++v) {
+            if (v == tree_->digit(root_word, l)) continue;
+            const topo::ChannelId up = tree_->up_channel(sw, v);
+            if (up == topo::kInvalidChannel) continue;  // tapered-away uplink
+            sc.weight[static_cast<std::size_t>(up)] = kDetourPenalty;
+            sc.touched.push_back(up);
+          }
+        }
+
+        updown_spf_to(topo, topo.attach_switch(owner.node), rank, sc.weight,
+                      {}, sc.spf, sc.tree);
+        unreachable[static_cast<std::size_t>(d)] = apply_tree_to_tables(
+            topo, sc.tree, owner.node, dlid, res.tables);
+
+        for (topo::ChannelId ch : sc.touched)
+          sc.weight[static_cast<std::size_t>(ch)] = 1.0;
+      });
+
+  for (const std::int64_t u : unreachable) res.unreachable_entries += u;
   return res;
 }
 

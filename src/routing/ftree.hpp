@@ -20,8 +20,12 @@ namespace hxsim::routing {
 
 class FtreeEngine final : public RoutingEngine {
  public:
-  /// The tree must outlive the engine.
-  explicit FtreeEngine(const topo::FatTree& tree) : tree_(&tree) {}
+  /// The tree must outlive the engine.  Destinations are routed fully
+  /// independently (per-destination weights), so compute() parallelises
+  /// over `threads` workers with bit-identical output at any count;
+  /// threads == 0 uses exec::default_threads().
+  explicit FtreeEngine(const topo::FatTree& tree, std::int32_t threads = 0)
+      : tree_(&tree), threads_(threads) {}
 
   [[nodiscard]] std::string name() const override { return "ftree"; }
   [[nodiscard]] RouteResult compute(const topo::Topology& topo,
@@ -29,6 +33,7 @@ class FtreeEngine final : public RoutingEngine {
 
  private:
   const topo::FatTree* tree_;
+  std::int32_t threads_;
 };
 
 }  // namespace hxsim::routing

@@ -3,6 +3,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "exec/exec.hpp"
 #include "routing/spf.hpp"
 
 namespace hxsim::routing {
@@ -46,13 +47,30 @@ RouteResult UpDownEngine::compute(const topo::Topology& topo,
   RouteResult res;
   res.tables = ForwardingTables(topo.num_switches(), lids.max_lid());
   res.num_vls_used = 1;
-  for (const Lid dlid : lids.all_lids()) {
-    const LidSpace::Owner owner = lids.owner(dlid);
-    const SpfResult tree =
-        updown_spf_to(topo, topo.attach_switch(owner.node), ranks_);
-    res.unreachable_entries +=
-        apply_tree_to_tables(topo, tree, owner.node, dlid, res.tables);
-  }
+
+  // Destinations are independent (unit weights, shared read-only ranks):
+  // each index writes only its own LFT column and unreachable slot.
+  const std::vector<Lid> all = lids.all_lids();
+  std::vector<std::int64_t> unreachable(all.size(), 0);
+
+  struct Scratch {
+    SpfScratch spf;
+    SpfResult tree;
+  };
+  exec::ThreadPool pool(threads_);
+  exec::ScratchArena<Scratch> arena(pool);
+  pool.parallel_for(
+      static_cast<std::int64_t>(all.size()),
+      [&](std::int64_t d, std::int32_t worker) {
+        Scratch& sc = arena.local(worker);
+        const Lid dlid = all[static_cast<std::size_t>(d)];
+        const LidSpace::Owner owner = lids.owner(dlid);
+        updown_spf_to(topo, topo.attach_switch(owner.node), ranks_, {}, {},
+                      sc.spf, sc.tree);
+        unreachable[static_cast<std::size_t>(d)] = apply_tree_to_tables(
+            topo, sc.tree, owner.node, dlid, res.tables);
+      });
+  for (const std::int64_t u : unreachable) res.unreachable_entries += u;
   return res;
 }
 

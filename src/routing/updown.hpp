@@ -14,7 +14,11 @@ namespace hxsim::routing {
 class UpDownEngine final : public RoutingEngine {
  public:
   /// root < 0 selects the highest-degree switch (lowest id on ties).
-  explicit UpDownEngine(topo::SwitchId root = -1) : root_(root) {}
+  /// Destinations are independent (unit weights), so compute()
+  /// parallelises over `threads` workers with bit-identical output;
+  /// threads == 0 uses exec::default_threads().
+  explicit UpDownEngine(topo::SwitchId root = -1, std::int32_t threads = 0)
+      : root_(root), threads_(threads) {}
 
   [[nodiscard]] std::string name() const override { return "updown"; }
   [[nodiscard]] RouteResult compute(const topo::Topology& topo,
@@ -27,6 +31,7 @@ class UpDownEngine final : public RoutingEngine {
 
  private:
   topo::SwitchId root_;
+  std::int32_t threads_;
   std::vector<std::int32_t> ranks_;
 };
 

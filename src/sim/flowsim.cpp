@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/exec.hpp"
+
 namespace hxsim::sim {
 
 namespace {
@@ -23,17 +25,22 @@ void FlowSim::set_capacity(topo::ChannelId ch, double bytes_per_s) {
 }
 
 void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
-                    std::span<double> rate) const {
+                    std::span<double> rate, SolveScratch& scratch) const {
   // Progressive filling: all unfrozen flows share one common rate level
   // that rises until some channel saturates; flows crossing a saturated
   // channel freeze at the level, and the level keeps rising for the rest.
   //
   // Only channels actually crossed by an active flow matter, so the state
   // is kept compact (full-fabric channel vectors would dominate the cost
-  // on large fat-trees).
-  std::vector<std::int32_t> local_of(capacity_.size(), -1);
-  std::vector<topo::ChannelId> used;
-  std::vector<char> frozen(flows.size(), 0);
+  // on large fat-trees).  The full-width local_of map persists in the
+  // scratch and is un-dirtied via the used list on the way out, so reusing
+  // a scratch keeps every solve allocation-free after warm-up.
+  auto& local_of = scratch.local_of;
+  auto& used = scratch.used;
+  auto& frozen = scratch.frozen;
+  if (local_of.size() != capacity_.size()) local_of.assign(capacity_.size(), -1);
+  used.clear();
+  frozen.assign(flows.size(), 0);
 
   std::size_t remaining = 0;
   for (std::size_t f = 0; f < flows.size(); ++f) {
@@ -53,16 +60,18 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
   }
 
   const std::size_t nused = used.size();
-  std::vector<double> frozen_load(nused, 0.0);
-  std::vector<std::int32_t> unfrozen_count(nused, 0);
+  auto& frozen_load = scratch.frozen_load;
+  auto& unfrozen_count = scratch.unfrozen_count;
+  auto& saturated = scratch.saturated;
+  frozen_load.assign(nused, 0.0);
+  unfrozen_count.assign(nused, 0);
+  saturated.assign(nused, 0);
   for (std::size_t f = 0; f < flows.size(); ++f) {
     if (!active[f] || flows[f].channels.empty()) continue;
     for (topo::ChannelId ch : flows[f].channels)
       ++unfrozen_count[static_cast<std::size_t>(
           local_of[static_cast<std::size_t>(ch)])];
   }
-
-  std::vector<char> saturated(nused, 0);
   while (remaining > 0) {
     // The common level can rise to min over loaded channels of
     // (capacity - frozen_load) / unfrozen_count.
@@ -73,7 +82,18 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
           0.0, capacity_[static_cast<std::size_t>(used[c])] - frozen_load[c]);
       level = std::min(level, cap / unfrozen_count[c]);
     }
-    if (level == kInf) break;  // defensive: no loaded channel left
+    if (level == kInf) {
+      // Defensive: no loaded channel left although flows remain unfrozen.
+      // Mark the survivors explicitly so their rates are never stale
+      // values from a previous solve of the same scratch/rate buffer.
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (!active[f] || frozen[f] || flows[f].channels.empty()) continue;
+        frozen[f] = 1;
+        rate[f] = 0.0;
+      }
+      remaining = 0;
+      break;
+    }
 
     // Freeze every unfrozen flow that crosses a (now) saturated channel.
     for (std::size_t c = 0; c < nused; ++c) {
@@ -116,13 +136,35 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
       remaining = 0;
     }
   }
+
+  // Un-dirty the persistent channel map for the next solve on this scratch.
+  for (topo::ChannelId ch : used) local_of[static_cast<std::size_t>(ch)] = -1;
 }
 
 std::vector<double> FlowSim::fair_rates(std::span<const Flow> flows) const {
+  SolveScratch scratch;
   std::vector<double> rate(flows.size(), 0.0);
-  std::vector<char> active(flows.size(), 1);
-  solve(flows, active, rate);
+  scratch.active.assign(flows.size(), 1);
+  solve(flows, scratch.active, rate, scratch);
   return rate;
+}
+
+std::vector<std::vector<double>> FlowSim::solve_batch(
+    std::span<const std::vector<Flow>> flow_sets, std::int32_t threads) const {
+  std::vector<std::vector<double>> rates(flow_sets.size());
+  exec::ThreadPool pool(threads);
+  exec::ScratchArena<SolveScratch> arena(pool);
+  pool.parallel_for(
+      static_cast<std::int64_t>(flow_sets.size()),
+      [&](std::int64_t s, std::int32_t worker) {
+        SolveScratch& scratch = arena.local(worker);
+        const std::vector<Flow>& flows = flow_sets[static_cast<std::size_t>(s)];
+        auto& rate = rates[static_cast<std::size_t>(s)];
+        rate.assign(flows.size(), 0.0);
+        scratch.active.assign(flows.size(), 1);
+        solve(flows, scratch.active, rate, scratch);
+      });
+  return rates;
 }
 
 std::vector<double> FlowSim::completion_times(
@@ -140,10 +182,11 @@ std::vector<double> FlowSim::completion_times(
   }
 
   double now = 0.0;
+  SolveScratch scratch;
   std::vector<double> rate(flows.size(), 0.0);
   while (live > 0) {
     std::fill(rate.begin(), rate.end(), 0.0);
-    solve(flows, active, rate);
+    solve(flows, active, rate, scratch);
 
     // Advance to the earliest completion under the current allocation.
     double dt = kInf;

@@ -34,10 +34,32 @@ class FlowSim {
 
   [[nodiscard]] const LinkModel& link() const noexcept { return link_; }
 
+  /// Reusable progressive-filling state.  One per worker thread; passing
+  /// the same scratch to repeated solves removes every per-call heap
+  /// allocation except the returned rate vector.
+  struct SolveScratch {
+    std::vector<std::int32_t> local_of;
+    std::vector<topo::ChannelId> used;
+    std::vector<char> frozen;
+    std::vector<double> frozen_load;
+    std::vector<std::int32_t> unfrozen_count;
+    std::vector<char> saturated;
+    std::vector<char> active;  // used by the batch driver
+  };
+
   /// Steady-state max-min fair rates [bytes/s] for the given flow set
   /// (bytes fields are ignored; zero-length paths get +inf).
   [[nodiscard]] std::vector<double> fair_rates(
       std::span<const Flow> flows) const;
+
+  /// fair_rates() for many *independent* flow sets (mpiGraph shift
+  /// rounds, eBB permutation samples), solved concurrently on `threads`
+  /// workers (0: exec::default_threads()) with per-worker scratch.  Each
+  /// set's allocation is computed in isolation, exactly as a fair_rates()
+  /// loop would, so the output is thread-count-invariant.
+  [[nodiscard]] std::vector<std::vector<double>> solve_batch(
+      std::span<const std::vector<Flow>> flow_sets,
+      std::int32_t threads = 0) const;
 
   /// Completion time of each flow when all start at t = 0 and rates are
   /// re-allocated max-min fairly whenever a flow finishes.
@@ -52,7 +74,7 @@ class FlowSim {
  private:
   /// Max-min over a subset of flows (active[i] selects), writing rates.
   void solve(std::span<const Flow> flows, std::span<const char> active,
-             std::span<double> rate) const;
+             std::span<double> rate, SolveScratch& scratch) const;
 
   const topo::Topology* topo_;
   LinkModel link_;

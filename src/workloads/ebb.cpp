@@ -1,5 +1,6 @@
 #include "workloads/ebb.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "stats/units.hpp"
@@ -20,28 +21,41 @@ EbbResult effective_bisection_bandwidth(const mpi::Cluster& cluster,
   result.sample_means.reserve(static_cast<std::size_t>(options.samples));
 
   const std::int32_t half = nodes_used / 2;
-  for (std::int32_t s = 0; s < options.samples; ++s) {
-    const std::vector<std::int32_t> perm = rng.permutation(nodes_used);
-    // Pair perm[i] <-> perm[i + half]; both directions stream concurrently
-    // (Netgauge uses Isend/Irecv full-duplex pairs).
-    std::vector<sim::Flow> round;
-    round.reserve(static_cast<std::size_t>(nodes_used));
-    for (std::int32_t i = 0; i < half; ++i) {
-      const topo::NodeId a =
-          placement.node_of(perm[static_cast<std::size_t>(i)]);
-      const topo::NodeId b =
-          placement.node_of(perm[static_cast<std::size_t>(i + half)]);
-      for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
-        auto msg = cluster.route_message(src, dst, options.bytes, rng);
-        if (!msg) throw std::runtime_error("ebb: unroutable pair");
-        round.push_back(sim::Flow{std::move(msg->path), options.bytes});
+
+  // Permutation samples are independent once routed; solve blocks of them
+  // concurrently.  Permutations and paths are generated strictly in sample
+  // order (both consume the RNG), so the sample means are identical to the
+  // sequential run at any thread count.
+  constexpr std::int32_t kBlock = 32;
+  std::vector<std::vector<sim::Flow>> rounds;
+  for (std::int32_t block = 0; block < options.samples; block += kBlock) {
+    const std::int32_t end = std::min(block + kBlock, options.samples);
+    rounds.clear();
+    for (std::int32_t s = block; s < end; ++s) {
+      const std::vector<std::int32_t> perm = rng.permutation(nodes_used);
+      // Pair perm[i] <-> perm[i + half]; both directions stream
+      // concurrently (Netgauge uses Isend/Irecv full-duplex pairs).
+      std::vector<sim::Flow> round;
+      round.reserve(static_cast<std::size_t>(nodes_used));
+      for (std::int32_t i = 0; i < half; ++i) {
+        const topo::NodeId a =
+            placement.node_of(perm[static_cast<std::size_t>(i)]);
+        const topo::NodeId b =
+            placement.node_of(perm[static_cast<std::size_t>(i + half)]);
+        for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+          auto msg = cluster.route_message(src, dst, options.bytes, rng);
+          if (!msg) throw std::runtime_error("ebb: unroutable pair");
+          round.push_back(sim::Flow{std::move(msg->path), options.bytes});
+        }
       }
+      rounds.push_back(std::move(round));
     }
-    const std::vector<double> rate = flows.fair_rates(round);
-    double mean = 0.0;
-    for (double r : rate) mean += r;
-    mean /= static_cast<double>(rate.size());
-    result.sample_means.push_back(mean / static_cast<double>(stats::kGiB));
+    for (const auto& rate : flows.solve_batch(rounds)) {
+      double mean = 0.0;
+      for (double r : rate) mean += r;
+      mean /= static_cast<double>(rate.size());
+      result.sample_means.push_back(mean / static_cast<double>(stats::kGiB));
+    }
   }
   return result;
 }

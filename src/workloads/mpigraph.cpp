@@ -1,5 +1,6 @@
 #include "workloads/mpigraph.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "stats/units.hpp"
@@ -21,24 +22,39 @@ stats::Heatmap mpigraph(const mpi::Cluster& cluster,
   stats::Rng rng(options.seed);
   sim::FlowSim flows(cluster.topo(), cluster.link());
 
-  for (std::int32_t shift = 1; shift < nodes_used; ++shift) {
-    std::vector<sim::Flow> round;
-    round.reserve(static_cast<std::size_t>(nodes_used));
-    for (std::int32_t i = 0; i < nodes_used; ++i) {
-      const topo::NodeId src = placement.node_of(i);
-      const topo::NodeId dst = placement.node_of((i + shift) % nodes_used);
-      auto msg = cluster.route_message(src, dst, options.bytes, rng);
-      if (!msg)
-        throw std::runtime_error("mpigraph: unroutable node pair");
-      round.push_back(sim::Flow{std::move(msg->path), options.bytes});
+  // Shift rounds are independent once their flow paths are fixed, so the
+  // rounds of a block are solved concurrently.  Path generation stays
+  // strictly in shift order (route_message consumes the RNG), so the
+  // heatmap is identical to the sequential run at any thread count; the
+  // block bound keeps at most kBlock rounds of flows in memory.
+  constexpr std::int32_t kBlock = 32;
+  std::vector<std::vector<sim::Flow>> rounds;
+  for (std::int32_t block = 1; block < nodes_used; block += kBlock) {
+    const std::int32_t end = std::min(block + kBlock, nodes_used);
+    rounds.clear();
+    for (std::int32_t shift = block; shift < end; ++shift) {
+      std::vector<sim::Flow> round;
+      round.reserve(static_cast<std::size_t>(nodes_used));
+      for (std::int32_t i = 0; i < nodes_used; ++i) {
+        const topo::NodeId src = placement.node_of(i);
+        const topo::NodeId dst = placement.node_of((i + shift) % nodes_used);
+        auto msg = cluster.route_message(src, dst, options.bytes, rng);
+        if (!msg)
+          throw std::runtime_error("mpigraph: unroutable node pair");
+        round.push_back(sim::Flow{std::move(msg->path), options.bytes});
+      }
+      rounds.push_back(std::move(round));
     }
-    const std::vector<double> rate = flows.fair_rates(round);
-    for (std::int32_t i = 0; i < nodes_used; ++i) {
-      const std::int32_t j = (i + shift) % nodes_used;
-      // Streaming bandwidth of the pair == its steady fair share.
-      map.set(static_cast<std::size_t>(j), static_cast<std::size_t>(i),
-              rate[static_cast<std::size_t>(i)] /
-                  static_cast<double>(stats::kGiB));
+    const auto rates = flows.solve_batch(rounds);
+    for (std::int32_t shift = block; shift < end; ++shift) {
+      const auto& rate = rates[static_cast<std::size_t>(shift - block)];
+      for (std::int32_t i = 0; i < nodes_used; ++i) {
+        const std::int32_t j = (i + shift) % nodes_used;
+        // Streaming bandwidth of the pair == its steady fair share.
+        map.set(static_cast<std::size_t>(j), static_cast<std::size_t>(i),
+                rate[static_cast<std::size_t>(i)] /
+                    static_cast<double>(stats::kGiB));
+      }
     }
   }
   return map;
