@@ -3,6 +3,9 @@
 // Every bench accepts:
 //   --quick          scaled-down system and trimmed sweeps (CI-friendly)
 //   --csv <path>     additionally dump machine-readable CSV
+//   --trace <path>   export observability metrics (counters, solver
+//                    metrics, phase timers) as <path> JSON plus per-table
+//                    CSVs next to it; purely observational
 //   --seed <n>       base seed for the stochastic elements
 //   --reps <n>       repetitions for configurations with randomness
 //   --threads <n>    worker threads for the exec/ layer (default: all
@@ -10,7 +13,6 @@
 // and prints the paper's rows/series to stdout.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <optional>
@@ -19,6 +21,8 @@
 
 #include "exec/exec.hpp"
 #include "mpi/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_clock.hpp"
 #include "stats/csv.hpp"
 #include "workloads/paper_system.hpp"
 
@@ -27,6 +31,7 @@ namespace hxsim::bench {
 struct BenchArgs {
   bool quick = false;
   std::optional<std::string> csv_path;
+  std::optional<std::string> trace_path;
   std::uint64_t seed = 1;
   std::int32_t reps = 3;
   std::int32_t threads = 0;  // 0: hardware_concurrency
@@ -46,6 +51,8 @@ struct BenchArgs {
         args.quick = true;
       } else if (arg == "--csv") {
         args.csv_path = next();
+      } else if (arg == "--trace") {
+        args.trace_path = next();
       } else if (arg == "--seed") {
         args.seed = std::stoull(next());
       } else if (arg == "--reps") {
@@ -54,8 +61,8 @@ struct BenchArgs {
         args.threads = std::stoi(next());
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "usage: %s [--quick] [--csv file] [--seed n] [--reps n] "
-            "[--threads n]\n",
+            "usage: %s [--quick] [--csv file] [--trace file] [--seed n] "
+            "[--reps n] [--threads n]\n",
             argv[0]);
         std::exit(0);
       } else {
@@ -94,21 +101,23 @@ struct BenchArgs {
   return mpi::Placement::make(config.placement, nranks, pool, rng);
 }
 
-/// Wall-clock stopwatch for per-phase timing.
-class PhaseClock {
- public:
-  PhaseClock() : start_(std::chrono::steady_clock::now()) {}
-  /// Seconds since construction or the last lap() call.
-  double lap() {
-    const auto now = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(now - start_).count();
-    start_ = now;
-    return s;
-  }
+/// Wall-clock stopwatch for per-phase timing (now shared with the routing
+/// engines and simulators through the obs library).
+using PhaseClock = obs::PhaseClock;
 
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// Writes a bench's metric registry when --trace was given: <path> JSON
+/// plus one <stem>_<table>.csv per table (stem = path without extension).
+inline void write_trace(const BenchArgs& args,
+                        const obs::MetricRegistry& registry) {
+  if (!args.trace_path) return;
+  registry.write_json(*args.trace_path);
+  std::string stem = *args.trace_path;
+  if (const auto dot = stem.rfind('.');
+      dot != std::string::npos && stem.find('/', dot) == std::string::npos)
+    stem.resize(dot);
+  registry.write_csv(stem);
+  std::printf("wrote trace %s\n", args.trace_path->c_str());
+}
 
 /// Machine-readable perf record: every bench that times phases appends
 /// {name, metrics} entries and writes one BENCH_<bench>.json so the perf

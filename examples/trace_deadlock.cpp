@@ -1,0 +1,101 @@
+// Deadlock post-mortem on the Section 3.2 triangle, with counters.
+//
+// Runs the same wedge as deadlock_demo (three two-hop ring flows on one
+// virtual lane, one-packet buffers) with an obs::PktTrace attached, then
+// renders what the bare `deadlock = true` of the old simulator hid:
+//  - the actual circular credit wait, packet by packet ("who holds which
+//    channel x VL buffer waiting on whom");
+//  - the per-channel counters at the instant of the wedge -- exhausted
+//    final_credits on the inter-switch cables, credit-stall time (the
+//    PortXmitWait analogue) concentrated on the cycle.
+// A second run with the DFSSSP-style dateline lane drains and shows every
+// credit restored -- the credit-leak canary the tests assert.
+#include <cstdio>
+
+#include "obs/pkt_trace.hpp"
+#include "sim/pktsim.hpp"
+#include "topo/topology.hpp"
+
+int main() {
+  using namespace hxsim;
+
+  // The triangle: switches A, B, C; one node each; three forward cables.
+  topo::Topology tri("triangle");
+  const topo::SwitchId A = tri.add_switch();
+  const topo::SwitchId B = tri.add_switch();
+  const topo::SwitchId C = tri.add_switch();
+  const topo::NodeId nodes[3] = {tri.add_terminal(A), tri.add_terminal(B),
+                                 tri.add_terminal(C)};
+  topo::ChannelId fwd[3];  // A->B, B->C, C->A
+  {
+    auto [ab, ba] = tri.connect(A, B);
+    auto [bc, cb] = tri.connect(B, C);
+    auto [ca, ac] = tri.connect(C, A);
+    (void)ba; (void)cb; (void)ac;
+    fwd[0] = ab;
+    fwd[1] = bc;
+    fwd[2] = ca;
+  }
+
+  // node i -> switch i -> switch i+1 -> switch i+2 -> node i+2.
+  auto ring_message = [&](int i, std::int8_t vl) {
+    sim::PktMessage m;
+    m.src = nodes[i];
+    m.dst = nodes[(i + 2) % 3];
+    m.bytes = 32 * 2048;
+    m.vl = vl;
+    m.path = {tri.terminal_up(nodes[i]), fwd[i], fwd[(i + 1) % 3],
+              tri.terminal_down(nodes[(i + 2) % 3])};
+    return m;
+  };
+
+  obs::PktTrace trace;
+  sim::PktSimConfig cfg;
+  cfg.vc_buffer_packets = 1;
+  cfg.trace = &trace;
+  sim::PktSim pktsim(tri, cfg);
+
+  std::printf("Run 1: all traffic on VL0 -- the wedge, post-mortemed\n");
+  {
+    std::vector<sim::PktMessage> msgs;
+    for (int rep = 0; rep < 4; ++rep)
+      for (int i = 0; i < 3; ++i) msgs.push_back(ring_message(i, 0));
+    const auto result = pktsim.run(msgs);
+    std::printf("  delivered %lld / %lld packets, deadlock=%s\n",
+                static_cast<long long>(result.packets_delivered),
+                static_cast<long long>(result.packets_total),
+                result.deadlock ? "yes" : "no");
+    std::printf("%s", result.deadlock_report.to_string(&tri).c_str());
+
+    std::printf("  counters on the inter-switch cables at the wedge:\n");
+    for (int i = 0; i < 3; ++i) {
+      const obs::ChannelVlCounters& c = trace.at(fwd[i], 0);
+      std::printf(
+          "    ch%-2d VL0: crossed %lld pkts, stalled %.3g s, queue peak %d, "
+          "final credits %d / %d\n",
+          fwd[i], static_cast<long long>(c.packets), c.credit_stall_s,
+          c.peak_queue, c.final_credits, cfg.vc_buffer_packets);
+    }
+  }
+
+  std::printf("Run 2: dateline flow on VL1 -- drains, credits restored\n");
+  {
+    std::vector<sim::PktMessage> msgs;
+    for (int rep = 0; rep < 4; ++rep)
+      for (int i = 0; i < 3; ++i)
+        msgs.push_back(ring_message(i, i == 2 ? 1 : 0));
+    const auto result = pktsim.run(msgs);
+    std::printf("  delivered %lld / %lld packets, deadlock=%s\n",
+                static_cast<long long>(result.packets_delivered),
+                static_cast<long long>(result.packets_total),
+                result.deadlock ? "yes" : "no");
+    bool leak = false;
+    for (int i = 0; i < 3; ++i)
+      for (std::int8_t vl = 0; vl < 2; ++vl)
+        if (trace.at(fwd[i], vl).final_credits != cfg.vc_buffer_packets)
+          leak = true;
+    std::printf("  all inter-switch credits back at %d: %s\n",
+                cfg.vc_buffer_packets, leak ? "NO (credit leak!)" : "yes");
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "obs/deadlock.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace hxsim::obs {
+
+namespace {
+
+std::string endpoint_name(const topo::Endpoint& e) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%s%d", e.is_switch() ? "s" : "t", e.index);
+  return buf;
+}
+
+std::string resource_name(const topo::Topology* topo, topo::ChannelId ch,
+                          std::int8_t vl) {
+  char buf[64];
+  if (topo != nullptr && ch != topo::kInvalidChannel) {
+    const topo::Channel& c = topo->channel(ch);
+    std::snprintf(buf, sizeof buf, "ch%d %s->%s VL%d", ch,
+                  endpoint_name(c.src).c_str(), endpoint_name(c.dst).c_str(),
+                  vl);
+  } else {
+    std::snprintf(buf, sizeof buf, "ch%d VL%d", ch, vl);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string DeadlockReport::to_string(const topo::Topology* topo) const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "deadlock post-mortem: %zu packet(s) buffered, circular "
+                "credit wait over %zu buffer(s)\n",
+                blocked.size(), cycle.size());
+  out += line;
+  for (const CreditWaitEdge& e : cycle) {
+    std::snprintf(line, sizeof line,
+                  "  packet %d (msg %d) holds [%s] -> waits for credit on "
+                  "[%s]\n",
+                  e.packet, e.message,
+                  resource_name(topo, e.held, e.held_vl).c_str(),
+                  resource_name(topo, e.wanted, e.wanted_vl).c_str());
+    out += line;
+  }
+  if (cycle.empty())
+    out += "  (no circular wait found among the blocked packets)\n";
+  return out;
+}
+
+DeadlockReport build_deadlock_report(std::vector<CreditWaitEdge> blocked,
+                                     std::int32_t num_vls) {
+  DeadlockReport report;
+  report.blocked = std::move(blocked);
+
+  const auto key = [num_vls](topo::ChannelId ch, std::int8_t vl) {
+    return static_cast<std::int64_t>(ch) * num_vls + vl;
+  };
+
+  // Wait-for graph over (channel, VL) buffer resources: an edge per
+  // blocked packet from the resource it holds to the one it wants.
+  // Packets still in their injection queue hold nothing and cannot be part
+  // of a cycle.  std::map keeps the traversal order (and so the reported
+  // cycle) deterministic.
+  std::map<std::int64_t, std::vector<std::size_t>> holders;
+  for (std::size_t i = 0; i < report.blocked.size(); ++i) {
+    const CreditWaitEdge& e = report.blocked[i];
+    if (e.held != topo::kInvalidChannel)
+      holders[key(e.held, e.held_vl)].push_back(i);
+  }
+
+  std::map<std::int64_t, int> color;  // absent/0: white, 1: gray, 2: black
+  struct Frame {
+    std::int64_t res;
+    std::size_t next = 0;        // next holder edge to try
+    std::size_t edge_taken = 0;  // edge leading to the frame above
+  };
+  for (const auto& [start, start_edges] : holders) {
+    (void)start_edges;
+    if (color[start] != 0) continue;
+    std::vector<Frame> stack{Frame{start}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const std::vector<std::size_t>& out_edges = holders[f.res];
+      if (f.next >= out_edges.size()) {
+        color[f.res] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::size_t ei = out_edges[f.next++];
+      const CreditWaitEdge& e = report.blocked[ei];
+      const std::int64_t target = key(e.wanted, e.wanted_vl);
+      if (holders.find(target) == holders.end())
+        continue;  // nobody holds the wanted buffer: chain ends here
+      const int c = color[target];
+      if (c == 2) continue;
+      if (c == 1) {
+        // Back edge: the gray frames from `target` up, plus this edge,
+        // are the circular wait.
+        std::size_t pos = 0;
+        while (stack[pos].res != target) ++pos;
+        for (std::size_t s = pos; s + 1 < stack.size(); ++s)
+          report.cycle.push_back(report.blocked[stack[s].edge_taken]);
+        report.cycle.push_back(e);
+        return report;
+      }
+      f.edge_taken = ei;  // set before push_back invalidates `f`
+      color[target] = 1;
+      stack.push_back(Frame{target});
+    }
+  }
+  return report;
+}
+
+}  // namespace hxsim::obs

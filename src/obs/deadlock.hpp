@@ -1,0 +1,65 @@
+// Deadlock post-mortem: from "the event queue drained with packets still
+// buffered" to the *actual* circular credit wait.
+//
+// Section 3.2 of the paper defines routing deadlock through cyclic channel
+// dependencies (criterion (4)); the packet simulator reproduces the wedge
+// but used to report only a bare `deadlock = true`.  This module turns the
+// simulator's final state into evidence: every buffered packet contributes
+// a wait edge -- it *holds* a slot in one channel x VL input buffer and
+// *wants* a credit of another -- and a cycle in the resource graph over
+// (channel, VL) buffers is the deadlock, printable switch by switch.
+//
+// The analysis runs only after a deadlock is detected, so it costs nothing
+// on healthy runs and may allocate freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace hxsim::obs {
+
+/// One blocked packet: it occupies the downstream input buffer of
+/// (held, held_vl) -- kInvalidChannel if it never left its injection
+/// queue -- and cannot proceed because (wanted, wanted_vl) has no credit.
+struct CreditWaitEdge {
+  std::int32_t packet = -1;   // simulator packet index
+  std::int32_t message = -1;  // index into the run's message span
+  topo::ChannelId held = topo::kInvalidChannel;
+  std::int8_t held_vl = 0;
+  topo::ChannelId wanted = topo::kInvalidChannel;
+  std::int8_t wanted_vl = 0;
+
+  friend bool operator==(const CreditWaitEdge&,
+                         const CreditWaitEdge&) = default;
+};
+
+struct DeadlockReport {
+  /// Every packet left buffered when the event queue drained.
+  std::vector<CreditWaitEdge> blocked;
+  /// One circular wait extracted from `blocked`, in following order:
+  /// cycle[i].wanted is cycle[i+1]'s held resource (wrapping around).
+  /// Empty when no deadlock occurred -- and, defensively, when the blocked
+  /// packets form no cycle (which would indicate a simulator bug, since a
+  /// drained queue with buffered packets implies a circular wait).
+  std::vector<CreditWaitEdge> cycle;
+
+  [[nodiscard]] bool has_cycle() const noexcept { return !cycle.empty(); }
+
+  /// Human-readable rendering; with a topology, channels are expanded to
+  /// "s3->s7"-style endpoints.
+  [[nodiscard]] std::string to_string(
+      const topo::Topology* topo = nullptr) const;
+};
+
+/// Builds the report: keeps `blocked` verbatim and extracts one cycle from
+/// the wait-for graph whose nodes are (channel, vl) buffer resources and
+/// whose edges are the blocked packets that hold one resource while
+/// wanting another.  `num_vls` is the simulator's VL count (resource key
+/// stride).
+[[nodiscard]] DeadlockReport build_deadlock_report(
+    std::vector<CreditWaitEdge> blocked, std::int32_t num_vls);
+
+}  // namespace hxsim::obs

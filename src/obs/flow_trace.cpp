@@ -1,0 +1,34 @@
+#include "obs/flow_trace.hpp"
+
+#include <numeric>
+
+#include "obs/metrics.hpp"
+
+namespace hxsim::obs {
+
+void FlowSolveTrace::publish(MetricRegistry& registry,
+                             std::string_view table_name) const {
+  MetricRegistry::Table& table = registry.table(
+      table_name,
+      {"solve", "active_flows", "levels", "flows_frozen", "saturated_channels",
+       "first_level", "last_level"});
+  std::int64_t total_levels = 0;
+  for (std::size_t s = 0; s < solves.size(); ++s) {
+    const FlowSolveRecord& r = solves[s];
+    total_levels += r.num_levels();
+    const std::int64_t frozen = std::accumulate(
+        r.freezes_per_level.begin(), r.freezes_per_level.end(),
+        static_cast<std::int64_t>(0));
+    table.add_row({static_cast<double>(s),
+                   static_cast<double>(r.active_flows),
+                   static_cast<double>(r.num_levels()),
+                   static_cast<double>(frozen),
+                   static_cast<double>(r.saturated.size()),
+                   r.levels.empty() ? 0.0 : r.levels.front(),
+                   r.levels.empty() ? 0.0 : r.levels.back()});
+  }
+  registry.set("flow_solver_solves", static_cast<double>(solves.size()));
+  registry.set("flow_solver_levels", static_cast<double>(total_levels));
+}
+
+}  // namespace hxsim::obs

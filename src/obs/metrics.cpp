@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "stats/csv.hpp"
+
+namespace hxsim::obs {
+
+namespace {
+
+/// %.17g round-trips doubles exactly and stays compact for integers.
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// JSON string escaping for the metric names we mint (no control chars
+/// expected, but quotes and backslashes are handled).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricRegistry::Table::add_row(std::vector<double> cells) {
+  if (cells.size() != columns.size())
+    throw std::invalid_argument("MetricRegistry: row width != column count");
+  rows.push_back(std::move(cells));
+}
+
+void MetricRegistry::set(std::string_view name, double value) {
+  for (auto& [n, v] : scalars_) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  scalars_.emplace_back(std::string(name), value);
+}
+
+void MetricRegistry::add(std::string_view name, double delta) {
+  for (auto& [n, v] : scalars_) {
+    if (n == name) {
+      v += delta;
+      return;
+    }
+  }
+  scalars_.emplace_back(std::string(name), delta);
+}
+
+MetricRegistry::Table& MetricRegistry::table(std::string_view name,
+                                             std::vector<std::string> columns) {
+  for (Table& t : tables_) {
+    if (t.name == name) {
+      if (t.columns != columns)
+        throw std::invalid_argument("MetricRegistry: table '" + t.name +
+                                    "' re-requested with different columns");
+      return t;
+    }
+  }
+  tables_.push_back(Table{std::string(name), std::move(columns), {}});
+  return tables_.back();
+}
+
+void MetricRegistry::add_timings(std::string_view prefix,
+                                 const PhaseTimings& timings) {
+  for (const auto& [phase, seconds] : timings.entries())
+    set(std::string(prefix) + phase + "_s", seconds);
+}
+
+std::string MetricRegistry::to_json() const {
+  std::string out = "{\n  \"scalars\": {";
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    out += i ? ",\n    " : "\n    ";
+    out += "\"" + json_escape(scalars_[i].first) +
+           "\": " + format_double(scalars_[i].second);
+  }
+  out += scalars_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"tables\": {";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const Table& tab = tables_[t];
+    out += t ? ",\n    " : "\n    ";
+    out += "\"" + json_escape(tab.name) + "\": {\"columns\": [";
+    for (std::size_t c = 0; c < tab.columns.size(); ++c) {
+      if (c) out += ", ";
+      out += "\"" + json_escape(tab.columns[c]) + "\"";
+    }
+    out += "], \"rows\": [";
+    for (std::size_t r = 0; r < tab.rows.size(); ++r) {
+      out += r ? ",\n      [" : "\n      [";
+      for (std::size_t c = 0; c < tab.rows[r].size(); ++c) {
+        if (c) out += ", ";
+        out += format_double(tab.rows[r][c]);
+      }
+      out += "]";
+    }
+    out += tab.rows.empty() ? "]}" : "\n    ]}";
+  }
+  out += tables_.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f)
+    throw std::runtime_error("MetricRegistry: cannot write " + path);
+  const std::string json = to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+std::vector<std::string> MetricRegistry::write_csv(
+    const std::string& prefix) const {
+  std::vector<std::string> paths;
+  for (const Table& tab : tables_) {
+    const std::string path = prefix + "_" + tab.name + ".csv";
+    stats::CsvWriter writer(path, tab.columns);
+    std::vector<std::string> cells(tab.columns.size());
+    for (const auto& row : tab.rows) {
+      for (std::size_t c = 0; c < row.size(); ++c)
+        cells[c] = format_double(row[c]);
+      writer.add_row(cells);
+    }
+    writer.close();
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace hxsim::obs

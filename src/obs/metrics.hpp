@@ -1,0 +1,70 @@
+// MetricRegistry: the export surface of the observability layer.
+//
+// Counters accumulate inside the simulators (PktTrace, FlowSolveTrace) and
+// engines (PhaseTimings); at the end of a run they are *published* into a
+// MetricRegistry -- named scalars plus named tables -- which knows how to
+// serialise itself as JSON (one file, everything) or CSV (one file per
+// table, plot-ready).  The registry is deliberately dumb: insertion-ordered
+// names, double-valued cells, no aggregation.  The analogue in production
+// fabrics is the perfquery dump of an IB port counter sweep: a flat,
+// machine-readable snapshot taken after the experiment, never on the hot
+// path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/phase_clock.hpp"
+
+namespace hxsim::obs {
+
+class MetricRegistry {
+ public:
+  /// Rectangular, double-valued table (e.g. one row per channel x VL).
+  struct Table {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> rows;
+
+    void add_row(std::vector<double> cells);
+  };
+
+  /// Sets (or overwrites) a named scalar.
+  void set(std::string_view name, double value);
+
+  /// Adds to a named scalar, creating it at 0.
+  void add(std::string_view name, double delta);
+
+  /// Creates (or returns the existing) table.  Re-requesting an existing
+  /// name with a different column set throws std::invalid_argument.
+  Table& table(std::string_view name, std::vector<std::string> columns);
+
+  /// Publishes every phase of `timings` as "<prefix><phase>_s" scalars.
+  void add_timings(std::string_view prefix, const PhaseTimings& timings);
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& scalars()
+      const noexcept {
+    return scalars_;
+  }
+  [[nodiscard]] const std::vector<Table>& tables() const noexcept {
+    return tables_;
+  }
+
+  /// The whole registry as a JSON object: {"scalars": {...}, "tables":
+  /// {name: {"columns": [...], "rows": [[...], ...]}}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`.  Throws std::runtime_error on I/O error.
+  void write_json(const std::string& path) const;
+
+  /// Writes each table as `<prefix>_<table>.csv`; returns the paths.
+  std::vector<std::string> write_csv(const std::string& prefix) const;
+
+ private:
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace hxsim::obs

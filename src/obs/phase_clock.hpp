@@ -1,0 +1,69 @@
+// Phase timing: a wall-clock stopwatch plus a named accumulator.
+//
+// PhaseClock started life in bench/bench_common.hpp (PR 1); it moved here
+// so library code -- the routing engines, the simulators -- can time its
+// own phases without depending on the bench layer.  PhaseTimings is the
+// sink: engines that are handed one accumulate seconds under stable phase
+// names ("spf_trees", "vl_placement", ...), and the bench/export layer
+// publishes the entries.  Timing is observational only: whether a
+// PhaseTimings is attached never changes what an engine computes.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hxsim::obs {
+
+/// Wall-clock stopwatch for per-phase timing.
+class PhaseClock {
+ public:
+  PhaseClock() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction or the last lap() call.
+  double lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named wall-time accumulator.  Entries keep insertion order so reports
+/// read in execution order; repeated add() calls on one name accumulate
+/// (e.g. a phase inside a per-batch loop).
+class PhaseTimings {
+ public:
+  void add(std::string_view phase, double seconds) {
+    for (auto& [name, total] : entries_) {
+      if (name == phase) {
+        total += seconds;
+        return;
+      }
+    }
+    entries_.emplace_back(std::string(phase), seconds);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] double total() const noexcept {
+    double s = 0.0;
+    for (const auto& [name, t] : entries_) s += t;
+    return s;
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace hxsim::obs

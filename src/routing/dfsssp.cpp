@@ -22,9 +22,12 @@ struct DlidPaths {
 void DfssspEngine::assign_vls(const topo::Topology& topo, const LidSpace& lids,
                               const ForwardingTables& tables,
                               std::int32_t max_vls, RouteResult& result,
-                              std::int32_t threads) {
+                              std::int32_t threads,
+                              obs::PhaseTimings* timings) {
   result.vls = VlMap(topo.num_switches(), lids.max_lid());
   VlLayering layering(topo.num_channels(), max_vls);
+  obs::PhaseClock clock;
+  if (timings != nullptr) clock.lap();
 
   // Phase 1 (parallel): walk every (source switch, destination LID) path
   // once, collecting the channel sequences per destination.  The tables
@@ -70,6 +73,7 @@ void DfssspEngine::assign_vls(const topo::Topology& topo, const LidSpace& lids,
           out.srcs.push_back(src);
         }
       });
+  if (timings != nullptr) timings->add("vl_path_extraction", clock.lap());
 
   // Phase 2 (serial): greedy lane placement in (dlid, source) order --
   // exactly the order the sequential walk used, so the layering (and
@@ -89,13 +93,15 @@ void DfssspEngine::assign_vls(const topo::Topology& topo, const LidSpace& lids,
     }
   }
   result.num_vls_used = layering.layers_used();
+  if (timings != nullptr) timings->add("vl_placement", clock.lap());
 }
 
 RouteResult DfssspEngine::compute(const topo::Topology& topo,
                                   const LidSpace& lids) {
   SsspEngine base(threads_, batch_);
+  base.set_timings(timings_);
   RouteResult res = base.compute(topo, lids);
-  assign_vls(topo, lids, res.tables, max_vls_, res, threads_);
+  assign_vls(topo, lids, res.tables, max_vls_, res, threads_, timings_);
   return res;
 }
 

@@ -24,20 +24,30 @@ class DfssspEngine final : public RoutingEngine {
   [[nodiscard]] RouteResult compute(const topo::Topology& topo,
                                     const LidSpace& lids) override;
 
+  /// Attaches a phase-timer sink (not owned; nullptr detaches): compute()
+  /// accumulates the SSSP phases ("spf_trees", "table_merge") plus the VL
+  /// phases ("vl_path_extraction", "vl_placement").  Observational only.
+  void set_timings(obs::PhaseTimings* timings) noexcept {
+    timings_ = timings;
+  }
+
   /// Assigns virtual lanes for every (source switch, dlid) path of an
   /// existing table set; shared with the PARX engine.  Throws
   /// std::runtime_error if the paths cannot be layered within max_vls.
   /// Path extraction runs on `threads` workers; the greedy VL placement
   /// itself stays serial in (dlid, source) order, so the layering is
-  /// identical to the historical single-threaded walk.
+  /// identical to the historical single-threaded walk.  `timings`, when
+  /// given, receives the two VL phase wall-times.
   static void assign_vls(const topo::Topology& topo, const LidSpace& lids,
                          const ForwardingTables& tables, std::int32_t max_vls,
-                         RouteResult& result, std::int32_t threads = 0);
+                         RouteResult& result, std::int32_t threads = 0,
+                         obs::PhaseTimings* timings = nullptr);
 
  private:
   std::int32_t max_vls_;
   std::int32_t threads_;
   std::int32_t batch_;
+  obs::PhaseTimings* timings_ = nullptr;
 };
 
 }  // namespace hxsim::routing

@@ -32,8 +32,13 @@ RouteResult SsspEngine::compute(const topo::Topology& topo,
   std::vector<SpfResult> trees(static_cast<std::size_t>(
       std::min<std::int64_t>(batch, n)));
 
+  obs::PhaseClock clock;
+  double spf_seconds = 0.0;
+  double merge_seconds = 0.0;
+
   for (std::int64_t base = 0; base < n; base += batch) {
     const std::int64_t m = std::min(batch, n - base);
+    if (timings_ != nullptr) clock.lap();
     // All trees of the batch see the same weight snapshot; each index
     // writes only its own SpfResult slot, so the merge below is
     // order-independent and the output thread-count-invariant.
@@ -44,6 +49,7 @@ RouteResult SsspEngine::compute(const topo::Topology& topo,
       spf_to(topo, dest_sw, weight, {}, scratch.local(worker),
              trees[static_cast<std::size_t>(i)]);
     });
+    if (timings_ != nullptr) spf_seconds += clock.lap();
 
     // Serial merge in LID order: tables, then the weight update -- +#
     // terminals(s) on every channel of s's path, i.e. +1 per source port
@@ -70,6 +76,11 @@ RouteResult SsspEngine::compute(const topo::Topology& topo,
         }
       }
     }
+    if (timings_ != nullptr) merge_seconds += clock.lap();
+  }
+  if (timings_ != nullptr) {
+    timings_->add("spf_trees", spf_seconds);
+    timings_->add("table_merge", merge_seconds);
   }
   return res;
 }

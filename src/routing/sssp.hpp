@@ -16,6 +16,7 @@
 // reproduces OpenSM's strictly sequential weight evolution.
 #pragma once
 
+#include "obs/phase_clock.hpp"
 #include "routing/engine.hpp"
 
 namespace hxsim::routing {
@@ -36,9 +37,18 @@ class SsspEngine : public RoutingEngine {
   [[nodiscard]] RouteResult compute(const topo::Topology& topo,
                                     const LidSpace& lids) override;
 
+  /// Attaches a phase-timer sink (not owned; may be nullptr to detach).
+  /// compute() then accumulates wall time under "spf_trees" (parallel
+  /// Dijkstra batches) and "table_merge" (serial table + weight merge).
+  /// Purely observational: the RouteResult is identical either way.
+  void set_timings(obs::PhaseTimings* timings) noexcept {
+    timings_ = timings;
+  }
+
  private:
   std::int32_t threads_;
   std::int32_t batch_;
+  obs::PhaseTimings* timings_ = nullptr;
 };
 
 }  // namespace hxsim::routing

@@ -25,7 +25,8 @@ void FlowSim::set_capacity(topo::ChannelId ch, double bytes_per_s) {
 }
 
 void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
-                    std::span<double> rate, SolveScratch& scratch) const {
+                    std::span<double> rate, SolveScratch& scratch,
+                    obs::FlowSolveRecord* record) const {
   // Progressive filling: all unfrozen flows share one common rate level
   // that rises until some channel saturates; flows crossing a saturated
   // channel freeze at the level, and the level keeps rising for the rest.
@@ -66,6 +67,13 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
   frozen_load.assign(nused, 0.0);
   unfrozen_count.assign(nused, 0);
   saturated.assign(nused, 0);
+  // Solver-metric recording is off the hot path: the scratch stays
+  // allocation-free, and `ever_saturated` is only sized when tracing.
+  std::vector<char> ever_saturated;
+  if (record != nullptr) {
+    record->active_flows = static_cast<std::int32_t>(remaining);
+    ever_saturated.assign(nused, 0);
+  }
   for (std::size_t f = 0; f < flows.size(); ++f) {
     if (!active[f] || flows[f].channels.empty()) continue;
     for (topo::ChannelId ch : flows[f].channels)
@@ -104,6 +112,7 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
       if (cap / unfrozen_count[c] <= level * (1.0 + 1e-12)) saturated[c] = 1;
     }
     bool froze_any = false;
+    std::int32_t froze_count = 0;
     for (std::size_t f = 0; f < flows.size(); ++f) {
       if (!active[f] || frozen[f] || flows[f].channels.empty()) continue;
       bool hit = false;
@@ -117,6 +126,7 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
       if (!hit) continue;
       frozen[f] = 1;
       froze_any = true;
+      ++froze_count;
       rate[f] = level;
       --remaining;
       for (topo::ChannelId ch : flows[f].channels) {
@@ -131,9 +141,20 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
       for (std::size_t f = 0; f < flows.size(); ++f) {
         if (!active[f] || frozen[f] || flows[f].channels.empty()) continue;
         frozen[f] = 1;
+        ++froze_count;
         rate[f] = level;
       }
       remaining = 0;
+    }
+    if (record != nullptr) {
+      record->levels.push_back(level);
+      record->freezes_per_level.push_back(froze_count);
+      for (std::size_t c = 0; c < nused; ++c) {
+        if (saturated[c] && !ever_saturated[c]) {
+          ever_saturated[c] = 1;
+          record->saturated.push_back(used[c]);
+        }
+      }
     }
   }
 
@@ -141,11 +162,13 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
   for (topo::ChannelId ch : used) local_of[static_cast<std::size_t>(ch)] = -1;
 }
 
-std::vector<double> FlowSim::fair_rates(std::span<const Flow> flows) const {
+std::vector<double> FlowSim::fair_rates(std::span<const Flow> flows,
+                                        obs::FlowSolveTrace* trace) const {
   SolveScratch scratch;
   std::vector<double> rate(flows.size(), 0.0);
   scratch.active.assign(flows.size(), 1);
-  solve(flows, scratch.active, rate, scratch);
+  solve(flows, scratch.active, rate, scratch,
+        trace != nullptr ? &trace->solves.emplace_back() : nullptr);
   return rate;
 }
 
@@ -168,17 +191,22 @@ std::vector<std::vector<double>> FlowSim::solve_batch(
 }
 
 std::vector<double> FlowSim::completion_times(
-    std::span<const Flow> flows) const {
+    std::span<const Flow> flows, obs::FlowSolveTrace* trace) const {
   std::vector<double> done(flows.size(), 0.0);
   std::vector<double> remaining_bytes(flows.size());
   std::vector<char> active(flows.size(), 0);
   std::size_t live = 0;
   for (std::size_t f = 0; f < flows.size(); ++f) {
     remaining_bytes[f] = static_cast<double>(flows[f].bytes);
-    if (flows[f].bytes > 0 && !flows[f].channels.empty()) {
-      active[f] = 1;
-      ++live;
+    if (flows[f].channels.empty() || flows[f].bytes <= 0) {
+      // Self-sends (empty path, any byte count) and zero-byte flows move
+      // no data over the network: they complete at injection, t = 0 --
+      // the defined semantics matching PktSim's self-send handling.
+      done[f] = 0.0;
+      continue;
     }
+    active[f] = 1;
+    ++live;
   }
 
   double now = 0.0;
@@ -186,7 +214,8 @@ std::vector<double> FlowSim::completion_times(
   std::vector<double> rate(flows.size(), 0.0);
   while (live > 0) {
     std::fill(rate.begin(), rate.end(), 0.0);
-    solve(flows, active, rate, scratch);
+    solve(flows, active, rate, scratch,
+          trace != nullptr ? &trace->solves.emplace_back() : nullptr);
 
     // Advance to the earliest completion under the current allocation.
     double dt = kInf;
@@ -213,8 +242,8 @@ std::vector<double> FlowSim::completion_times(
 }
 
 std::vector<double> FlowSim::channel_utilisation(
-    std::span<const Flow> flows) const {
-  const std::vector<double> rate = fair_rates(flows);
+    std::span<const Flow> flows, obs::FlowSolveTrace* trace) const {
+  const std::vector<double> rate = fair_rates(flows, trace);
   std::vector<double> load(capacity_.size(), 0.0);
   for (std::size_t f = 0; f < flows.size(); ++f) {
     if (flows[f].channels.empty()) continue;

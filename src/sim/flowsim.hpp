@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/flow_trace.hpp"
 #include "sim/link_model.hpp"
 #include "topo/topology.hpp"
 
@@ -20,7 +21,13 @@ namespace hxsim::sim {
 
 struct Flow {
   /// Channels traversed in order (terminal and switch channels alike share
-  /// capacity).  An empty path completes instantly (self-send).
+  /// capacity).
+  ///
+  /// An empty path is a *self-send*: the flow consumes no network resource
+  /// regardless of `bytes`.  Defined semantics (matching PktSim, which
+  /// completes self-send messages at their inject_time): fair_rates()
+  /// reports +inf, completion_times() reports completion at injection,
+  /// i.e. t = 0.  Zero-byte flows likewise complete at t = 0.
   std::vector<topo::ChannelId> channels;
   std::int64_t bytes = 0;
 };
@@ -48,33 +55,45 @@ class FlowSim {
   };
 
   /// Steady-state max-min fair rates [bytes/s] for the given flow set
-  /// (bytes fields are ignored; zero-length paths get +inf).
+  /// (bytes fields are ignored; zero-length paths get +inf).  When `trace`
+  /// is given, one obs::FlowSolveRecord is appended describing the solve
+  /// (levels, freezes, saturated channels); tracing never changes the
+  /// rates.
   [[nodiscard]] std::vector<double> fair_rates(
-      std::span<const Flow> flows) const;
+      std::span<const Flow> flows,
+      obs::FlowSolveTrace* trace = nullptr) const;
 
   /// fair_rates() for many *independent* flow sets (mpiGraph shift
   /// rounds, eBB permutation samples), solved concurrently on `threads`
   /// workers (0: exec::default_threads()) with per-worker scratch.  Each
   /// set's allocation is computed in isolation, exactly as a fair_rates()
-  /// loop would, so the output is thread-count-invariant.
+  /// loop would, so the output is thread-count-invariant.  solve_batch
+  /// does not take a solver trace (a shared sink would race across
+  /// workers); trace individual sets through fair_rates() instead.
   [[nodiscard]] std::vector<std::vector<double>> solve_batch(
       std::span<const std::vector<Flow>> flow_sets,
       std::int32_t threads = 0) const;
 
   /// Completion time of each flow when all start at t = 0 and rates are
-  /// re-allocated max-min fairly whenever a flow finishes.
+  /// re-allocated max-min fairly whenever a flow finishes.  Self-send and
+  /// zero-byte flows complete at injection (t = 0; see Flow::channels).
+  /// When `trace` is given, one record is appended per reallocation round.
   [[nodiscard]] std::vector<double> completion_times(
-      std::span<const Flow> flows) const;
+      std::span<const Flow> flows,
+      obs::FlowSolveTrace* trace = nullptr) const;
 
   /// Utilisation [0, 1] per channel under the steady-state allocation
   /// (diagnostics; same flow-set semantics as fair_rates).
   [[nodiscard]] std::vector<double> channel_utilisation(
-      std::span<const Flow> flows) const;
+      std::span<const Flow> flows,
+      obs::FlowSolveTrace* trace = nullptr) const;
 
  private:
   /// Max-min over a subset of flows (active[i] selects), writing rates.
+  /// `record`, when non-null, captures the solve's convergence trace.
   void solve(std::span<const Flow> flows, std::span<const char> active,
-             std::span<double> rate, SolveScratch& scratch) const;
+             std::span<double> rate, SolveScratch& scratch,
+             obs::FlowSolveRecord* record = nullptr) const;
 
   const topo::Topology* topo_;
   LinkModel link_;

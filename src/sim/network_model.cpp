@@ -33,7 +33,8 @@ std::vector<double> PacketModel::run(std::span<const NetMessage> messages) {
   PktSim sim(*topo_, config_);
   PktSim::Result result = sim.run(pkts);
   if (result.deadlock)
-    throw std::runtime_error("PacketModel: routing deadlock detected");
+    throw std::runtime_error("PacketModel: routing deadlock detected\n" +
+                             result.deadlock_report.to_string(topo_));
   return std::move(result.completion);
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace hxsim::sim {
 
@@ -24,15 +25,20 @@ struct Packet {
 
 struct ChannelState {
   bool busy = false;
+  std::int8_t busy_vl = 0;                      // VL of the in-flight packet
   std::int32_t rr_next = 0;                     // VL arbitration pointer
   std::vector<std::deque<std::int32_t>> queue;  // per VL: waiting packets
   std::vector<std::int32_t> credits;            // per VL: downstream slots
   bool downstream_is_switch = false;
 
+  /// Congestion score of one VL: its waiting queue plus the in-flight
+  /// packet *iff* that packet is serialising on this VL.  Charging `busy`
+  /// to every VL (the old behaviour) double-penalised channels in
+  /// choose_adaptive regardless of which lane actually held the wire.
   [[nodiscard]] std::int32_t occupancy(std::int8_t vl) const {
     return static_cast<std::int32_t>(queue[static_cast<std::size_t>(vl)]
                                          .size()) +
-           (busy ? 1 : 0);
+           ((busy && busy_vl == vl) ? 1 : 0);
   }
 };
 
@@ -40,7 +46,8 @@ class Engine {
  public:
   Engine(const topo::Topology& topo, const PktSimConfig& config,
          std::span<const PktMessage> messages)
-      : topo_(topo), config_(config), messages_(messages) {
+      : topo_(topo), config_(config), messages_(messages),
+        trace_(config.trace) {
     channels_.resize(static_cast<std::size_t>(topo.num_channels()));
     for (topo::ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
       ChannelState& st = channels_[static_cast<std::size_t>(ch)];
@@ -50,6 +57,8 @@ class Engine {
                         st.downstream_is_switch ? config.vc_buffer_packets
                                                 : 0 /* unused */);
     }
+    if (trace_ != nullptr)
+      trace_->reset(topo.num_channels(), config.num_vls);
 
     result_.completion.assign(messages.size(),
                               std::numeric_limits<double>::quiet_NaN());
@@ -59,6 +68,9 @@ class Engine {
       const PktMessage& msg = messages[m];
       if (msg.vl < 0 || msg.vl >= config.num_vls)
         throw std::invalid_argument("PktSim: message VL out of range");
+      if (msg.src < 0 || msg.src >= topo.num_terminals() || msg.dst < 0 ||
+          msg.dst >= topo.num_terminals())
+        fail(m, "src/dst is not a terminal of this topology");
       const bool adaptive = msg.path.empty() && msg.src != msg.dst;
       if (adaptive && config_.adaptive == nullptr)
         throw std::invalid_argument(
@@ -67,6 +79,7 @@ class Engine {
         result_.completion[m] = msg.inject_time;  // self-send
         continue;
       }
+      if (!msg.path.empty()) validate_path(m, msg);
       const std::int64_t segments =
           std::max<std::int64_t>(1, (msg.bytes + config.link.mtu - 1) /
                                         config.link.mtu);
@@ -79,12 +92,83 @@ class Engine {
   PktSim::Result run(std::size_t max_events) {
     events_.run(max_events);
     result_.end_time = events_.now();
+    // Pending events mean the run was truncated by max_events -- progress
+    // was still possible, so it is NOT a deadlock; a drained queue with
+    // undelivered packets is one.
+    result_.truncated = !events_.empty();
     result_.deadlock =
         events_.empty() && result_.packets_delivered < result_.packets_total;
+    if (result_.deadlock) result_.deadlock_report = post_mortem();
+    if (trace_ != nullptr) {
+      trace_->finalize(result_.end_time);
+      for (topo::ChannelId ch = 0; ch < topo_.num_channels(); ++ch) {
+        const ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+        if (!st.downstream_is_switch) continue;
+        for (std::int8_t vl = 0; vl < config_.num_vls; ++vl)
+          trace_->set_final_credits(ch, vl,
+                                    st.credits[static_cast<std::size_t>(vl)]);
+      }
+    }
     return std::move(result_);
   }
 
  private:
+  [[noreturn]] static void fail(std::size_t m, const char* why) {
+    throw std::invalid_argument("PktSim: message " + std::to_string(m) + ": " +
+                                why);
+  }
+
+  /// Static paths are walked blindly by arrive() (`++p.hop`), so anything
+  /// not ending in the destination's switch->terminal channel used to
+  /// index past the end of the path.  Reject malformed paths up front.
+  void validate_path(std::size_t m, const PktMessage& msg) const {
+    for (const topo::ChannelId ch : msg.path)
+      if (ch < 0 || ch >= topo_.num_channels())
+        fail(m, "path channel id out of range");
+    if (msg.path.front() != topo_.terminal_up(msg.src))
+      fail(m, "path must start with the source terminal's up channel");
+    for (std::size_t i = 0; i + 1 < msg.path.size(); ++i) {
+      const topo::Channel& c = topo_.channel(msg.path[i]);
+      if (!c.dst.is_switch())
+        fail(m, "path reaches a terminal before its final channel");
+      if (topo_.channel(msg.path[i + 1]).src != c.dst)
+        fail(m, "path is disconnected (consecutive channels do not meet)");
+    }
+    if (msg.path.back() != topo_.terminal_down(msg.dst))
+      fail(m, "path must end with the destination terminal's down channel");
+  }
+
+  /// Re-derives the credit-stall state of (ch, vl) after any queue or
+  /// credit mutation; no-op unless tracing.
+  void sync_stall(topo::ChannelId ch, std::int8_t vl) {
+    if (trace_ == nullptr) return;
+    const ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+    const bool blocked =
+        st.downstream_is_switch &&
+        st.credits[static_cast<std::size_t>(vl)] <= 0 &&
+        !st.queue[static_cast<std::size_t>(vl)].empty();
+    trace_->on_blocked(ch, vl, blocked, events_.now());
+  }
+
+  /// Runs after deadlock detection: every queued packet becomes a wait
+  /// edge (holds its upstream buffer, wants a credit of the channel it is
+  /// queued on), and the cycle is extracted from the resource graph.
+  obs::DeadlockReport post_mortem() const {
+    std::vector<obs::CreditWaitEdge> blocked;
+    for (topo::ChannelId ch = 0; ch < topo_.num_channels(); ++ch) {
+      const ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+      for (std::int8_t vl = 0; vl < config_.num_vls; ++vl) {
+        for (const std::int32_t pkt :
+             st.queue[static_cast<std::size_t>(vl)]) {
+          const Packet& p = packets_[static_cast<std::size_t>(pkt)];
+          blocked.push_back(obs::CreditWaitEdge{pkt, p.msg, p.held, p.held_vl,
+                                                ch, vl});
+        }
+      }
+    }
+    return obs::build_deadlock_report(std::move(blocked), config_.num_vls);
+  }
+
   void inject(std::size_t m) {
     const PktMessage& msg = messages_[m];
     const bool adaptive = msg.path.empty();
@@ -108,10 +192,16 @@ class Engine {
   }
 
   void enqueue(topo::ChannelId ch, std::int32_t pkt) {
-    channels_[static_cast<std::size_t>(ch)]
-        .queue[static_cast<std::size_t>(
-            packets_[static_cast<std::size_t>(pkt)].vl)]
-        .push_back(pkt);
+    const std::int8_t vl = packets_[static_cast<std::size_t>(pkt)].vl;
+    auto& q =
+        channels_[static_cast<std::size_t>(ch)].queue[static_cast<std::size_t>(
+            vl)];
+    q.push_back(pkt);
+    if (trace_ != nullptr) {
+      trace_->on_queue_depth(ch, vl, static_cast<std::int32_t>(q.size()),
+                             events_.now());
+      sync_stall(ch, vl);
+    }
   }
 
   /// Round-robin arbitration: start the next eligible packet on `ch`.
@@ -124,10 +214,17 @@ class Engine {
       auto& q = st.queue[static_cast<std::size_t>(vl)];
       if (q.empty()) continue;
       if (st.downstream_is_switch &&
-          st.credits[static_cast<std::size_t>(vl)] <= 0)
+          st.credits[static_cast<std::size_t>(vl)] <= 0) {
+        if (trace_ != nullptr)
+          trace_->on_arb_skip(ch, static_cast<std::int8_t>(vl));
         continue;  // head blocked on credits; try another VL
+      }
       const std::int32_t pkt = q.front();
       q.pop_front();
+      if (trace_ != nullptr)
+        trace_->on_queue_depth(ch, static_cast<std::int8_t>(vl),
+                               static_cast<std::int32_t>(q.size()),
+                               events_.now());
       st.rr_next = (vl + 1) % vls;
       start_crossing(ch, pkt);
       return;
@@ -138,8 +235,11 @@ class Engine {
     ChannelState& st = channels_[static_cast<std::size_t>(ch)];
     Packet& p = packets_[static_cast<std::size_t>(pkt)];
 
-    if (st.downstream_is_switch)
+    if (st.downstream_is_switch) {
       --st.credits[static_cast<std::size_t>(p.vl)];
+      sync_stall(ch, p.vl);
+    }
+    if (trace_ != nullptr) trace_->on_cross(ch, p.vl, p.size);
 
     // Starting to cross vacates the upstream input buffer: return the
     // held credit and wake that channel's arbiter.
@@ -147,6 +247,7 @@ class Engine {
       ChannelState& hst = channels_[static_cast<std::size_t>(p.held)];
       if (hst.downstream_is_switch) {
         ++hst.credits[static_cast<std::size_t>(p.held_vl)];
+        sync_stall(p.held, p.held_vl);
         try_start(p.held);
       }
     }
@@ -154,6 +255,7 @@ class Engine {
     p.held_vl = p.vl;
 
     st.busy = true;
+    st.busy_vl = p.vl;
     const double ser = serialization_time(config_.link, p.size);
     events_.schedule_in(ser, [this, ch] {
       channels_[static_cast<std::size_t>(ch)].busy = false;
@@ -234,6 +336,7 @@ class Engine {
   std::vector<ChannelState> channels_;
   std::vector<std::int64_t> remaining_packets_;
   std::vector<RouteCandidate> scratch_candidates_;
+  obs::PktTrace* trace_ = nullptr;  // nullptr: tracing off (the default)
   PktSim::Result result_;
 };
 

@@ -17,13 +17,25 @@
 //  - per-channel arbitration: round-robin over VLs, FIFO within a VL;
 //  - switch->terminal channels have unbounded credits (the HCA drains);
 //  - if the event queue drains while packets remain buffered, those packets
-//    form a circular wait: the run reports deadlock.
+//    form a circular wait: the run reports deadlock and a post-mortem
+//    (Result::deadlock_report) naming the credit-wait cycle;
+//  - static paths are validated at injection (connected, starting at the
+//    source's terminal-up and ending at the destination's terminal-down
+//    channel); malformed paths throw instead of walking out of bounds.
+//
+// Observability: attach an obs::PktTrace via PktSimConfig::trace to collect
+// per-channel x VL counters (packets/bytes crossed, credit-stall time,
+// arbitration skips, queue depths, final credits).  Tracing is off by
+// default, allocation-free per event, and strictly observational -- results
+// are bit-identical with tracing on or off.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "obs/deadlock.hpp"
+#include "obs/pkt_trace.hpp"
 #include "sim/adaptive.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link_model.hpp"
@@ -57,6 +69,10 @@ struct PktSimConfig {
   /// Adaptive choice policy: queue-length penalty of a non-minimal hop
   /// (the UGAL-style bias toward minimal paths).
   std::int32_t deroute_penalty = 2;
+  /// Optional counter sink (not owned; must outlive run()).  When set, the
+  /// simulator resets it at the start of every run and fills per-channel x
+  /// VL counters; simulation results are unaffected.
+  obs::PktTrace* trace = nullptr;
 };
 
 class PktSim {
@@ -66,10 +82,18 @@ class PktSim {
   struct Result {
     /// Per-message delivery time of the last packet; NaN if undelivered.
     std::vector<double> completion;
+    /// The event queue drained with packets still buffered -- a circular
+    /// credit wait.  Mutually exclusive with `truncated`.
     bool deadlock = false;
+    /// run() stopped at `max_events` with events still pending; the run is
+    /// incomplete but NOT deadlocked (rerun with a higher budget).
+    bool truncated = false;
     double end_time = 0.0;
     std::int64_t packets_delivered = 0;
     std::int64_t packets_total = 0;
+    /// Populated when deadlock: every buffered packet and one extracted
+    /// credit-wait cycle (see obs/deadlock.hpp).
+    obs::DeadlockReport deadlock_report;
   };
 
   /// Runs all messages to completion (or deadlock).  `max_events` guards

@@ -3,6 +3,7 @@
 // deadlock behaviour of PktSim.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -363,6 +364,66 @@ TEST(PktSim, RejectsBadConfig) {
   EXPECT_THROW(PktSim(d.topo, bad), std::invalid_argument);
 }
 
+// --- static path validation ----------------------------------------------------
+
+TEST(PktSim, RejectsPathNotStartingAtSourceUpChannel) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  // Start from terminal 1's up channel instead of terminal 0's.
+  std::vector<ChannelId> path{d.topo.terminal_up(1), d.ab,
+                              d.topo.terminal_down(4)};
+  EXPECT_THROW((void)sim.run(std::vector<PktMessage>{
+                   make_msg(d.topo, 0, 4, 100, path)}),
+               std::invalid_argument);
+}
+
+TEST(PktSim, RejectsDisconnectedPath) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  // b->a cable after the up channel into switch a: channels do not meet.
+  std::vector<ChannelId> path{d.topo.terminal_up(0), d.ba,
+                              d.topo.terminal_down(4)};
+  EXPECT_THROW((void)sim.run(std::vector<PktMessage>{
+                   make_msg(d.topo, 0, 4, 100, path)}),
+               std::invalid_argument);
+}
+
+TEST(PktSim, RejectsTruncatedPath) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  // Stops at the cable: the last channel is not dst's terminal-down, so
+  // the old unchecked `++hop` walk would have read past the end.
+  std::vector<ChannelId> path{d.topo.terminal_up(0), d.ab};
+  EXPECT_THROW((void)sim.run(std::vector<PktMessage>{
+                   make_msg(d.topo, 0, 4, 100, path)}),
+               std::invalid_argument);
+}
+
+TEST(PktSim, RejectsWrongDestinationTerminal) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  // Connected path, but it ends at terminal 5 while the message says 4.
+  std::vector<ChannelId> path{d.topo.terminal_up(0), d.ab,
+                              d.topo.terminal_down(5)};
+  EXPECT_THROW((void)sim.run(std::vector<PktMessage>{
+                   make_msg(d.topo, 0, 4, 100, path)}),
+               std::invalid_argument);
+}
+
+TEST(PktSim, RejectsOutOfRangeChannelAndNamesTheMessage) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  const Flow ok = d.flow(0, 4, 100);
+  std::vector<PktMessage> msgs{make_msg(d.topo, 0, 4, 100, ok.channels),
+                               make_msg(d.topo, 1, 5, 100, {9999})};
+  try {
+    (void)sim.run(msgs);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("message 1"), std::string::npos);
+  }
+}
+
 TEST(PktSim, RejectsMessageVlOutOfRange) {
   const Dumbbell d;
   PktSimConfig cfg;
@@ -373,6 +434,262 @@ TEST(PktSim, RejectsMessageVlOutOfRange) {
       (void)sim.run(std::vector<PktMessage>{
           make_msg(d.topo, 0, 4, 100, f.channels, 5)}),
       std::invalid_argument);
+}
+
+// --- truncation vs deadlock ------------------------------------------------------
+
+TEST(PktSim, MaxEventsTruncationIsNotDeadlock) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  std::vector<PktMessage> msgs;
+  for (NodeId i = 0; i < 4; ++i) {
+    const Flow f = d.flow(i, 4 + i, 10000);
+    msgs.push_back(make_msg(d.topo, i, 4 + i, f.bytes, f.channels));
+  }
+  const auto result = sim.run(msgs, /*max_events=*/3);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_FALSE(result.deadlock_report.has_cycle());
+  EXPECT_LT(result.packets_delivered, result.packets_total);
+}
+
+// --- observability: counters and post-mortem -------------------------------------
+
+TEST(PktSim, TraceRestoresEveryCreditAfterADrainedRun) {
+  const Dumbbell d;
+  obs::PktTrace trace;
+  PktSimConfig cfg;
+  cfg.num_vls = 4;
+  cfg.trace = &trace;
+  PktSim sim(d.topo, cfg);
+  stats::Rng rng(7);
+  std::vector<PktMessage> msgs;
+  for (int i = 0; i < 24; ++i) {
+    const auto src = static_cast<NodeId>(rng.next_below(4));
+    const auto dst = static_cast<NodeId>(4 + rng.next_below(4));
+    const Flow f = d.flow(src, dst, 1 + static_cast<std::int64_t>(
+                                            rng.next_below(16 * 1024)));
+    auto m = make_msg(d.topo, src, dst, f.bytes, f.channels,
+                      static_cast<std::int8_t>(rng.next_below(4)));
+    m.inject_time = rng.uniform() * 1e-5;
+    msgs.push_back(std::move(m));
+  }
+  const auto result = sim.run(msgs);
+  ASSERT_FALSE(result.deadlock);
+  ASSERT_EQ(result.packets_delivered, result.packets_total);
+  // The credit-leak canary: after a drained run every switch-downstream
+  // buffer is back at full depth; switch->terminal channels have no credit
+  // budget (final_credits stays at the -1 sentinel).
+  for (ChannelId ch = 0; ch < d.topo.num_channels(); ++ch) {
+    const bool to_switch = d.topo.channel(ch).dst.is_switch();
+    for (std::int8_t vl = 0; vl < 4; ++vl) {
+      EXPECT_EQ(trace.at(ch, vl).final_credits,
+                to_switch ? cfg.vc_buffer_packets : -1)
+          << "ch " << ch << " vl " << static_cast<int>(vl);
+    }
+  }
+  // Accounting sanity: every segment crossed the cable direction it used,
+  // and total crossings are path-length x segments.
+  EXPECT_EQ(trace.channel_packets(d.ab) + trace.channel_packets(d.ba),
+            result.packets_total);
+}
+
+TEST(PktSim, DeadlockPostMortemNamesTheTriangleCycle) {
+  const Triangle tri;
+  obs::PktTrace trace;
+  PktSimConfig cfg;
+  cfg.vc_buffer_packets = 1;
+  cfg.trace = &trace;
+  PktSim sim(tri.topo, cfg);
+  std::vector<PktMessage> msgs;
+  for (int rep = 0; rep < 4; ++rep)
+    for (int i = 0; i < 3; ++i)
+      msgs.push_back(tri.two_hop(i, 16 * 2048, 0));
+  const auto result = sim.run(msgs);
+  ASSERT_TRUE(result.deadlock);
+  EXPECT_FALSE(result.truncated);
+  const obs::DeadlockReport& report = result.deadlock_report;
+  EXPECT_FALSE(report.blocked.empty());
+  ASSERT_TRUE(report.has_cycle());
+  // The cycle is a genuine circular wait: each edge's wanted buffer is the
+  // next edge's held buffer (wrapping), over the triangle's forward cables.
+  for (std::size_t i = 0; i < report.cycle.size(); ++i) {
+    const auto& cur = report.cycle[i];
+    const auto& next = report.cycle[(i + 1) % report.cycle.size()];
+    EXPECT_EQ(cur.wanted, next.held);
+    EXPECT_EQ(cur.wanted_vl, next.held_vl);
+    EXPECT_TRUE(cur.held == tri.fwd[0] || cur.held == tri.fwd[1] ||
+                cur.held == tri.fwd[2])
+        << "cycle resource is not an inter-switch cable";
+    EXPECT_GE(cur.packet, 0);
+    EXPECT_GE(cur.message, 0);
+    EXPECT_LT(cur.message, static_cast<std::int32_t>(msgs.size()));
+  }
+  // The rendering names switches, not just channel ids.
+  const std::string text = report.to_string(&tri.topo);
+  EXPECT_NE(text.find("circular credit wait"), std::string::npos);
+  EXPECT_NE(text.find("s0"), std::string::npos);
+  // And the wedged cables report exhausted downstream buffers.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(trace.at(tri.fwd[i], 0).final_credits, 0);
+}
+
+TEST(PktSim, TracingIsBitIdenticalOnMixedTraffic) {
+  const Dumbbell d;
+  stats::Rng rng(11);
+  std::vector<PktMessage> msgs;
+  for (int i = 0; i < 32; ++i) {
+    const auto src = static_cast<NodeId>(rng.next_below(8));
+    auto dst = static_cast<NodeId>(rng.next_below(8));
+    if (src == dst) dst = (dst + 4) % 8;
+    const bool same_switch = (src < 4) == (dst < 4);
+    std::vector<ChannelId> path{d.topo.terminal_up(src)};
+    if (!same_switch) path.push_back(src < 4 ? d.ab : d.ba);
+    path.push_back(d.topo.terminal_down(dst));
+    auto m = make_msg(d.topo, src, dst,
+                      1 + static_cast<std::int64_t>(rng.next_below(8 * 1024)),
+                      std::move(path),
+                      static_cast<std::int8_t>(rng.next_below(4)));
+    m.inject_time = rng.uniform() * 1e-5;
+    msgs.push_back(std::move(m));
+  }
+
+  PktSimConfig plain;
+  plain.num_vls = 4;
+  const auto base = PktSim(d.topo, plain).run(msgs);
+
+  obs::PktTrace trace;
+  PktSimConfig traced = plain;
+  traced.trace = &trace;
+  const auto obs_run = PktSim(d.topo, traced).run(msgs);
+
+  // Bit-identical, not merely close: tracing must be purely observational.
+  ASSERT_EQ(base.completion.size(), obs_run.completion.size());
+  for (std::size_t i = 0; i < base.completion.size(); ++i) {
+    EXPECT_TRUE((std::isnan(base.completion[i]) &&
+                 std::isnan(obs_run.completion[i])) ||
+                base.completion[i] == obs_run.completion[i]);
+  }
+  EXPECT_EQ(base.end_time, obs_run.end_time);
+  EXPECT_EQ(base.packets_delivered, obs_run.packets_delivered);
+  EXPECT_EQ(base.deadlock, obs_run.deadlock);
+}
+
+TEST(FlowSim, TracedSolveMatchesUntracedAndBatchAtAnyThreadCount) {
+  const Dumbbell d;
+  const FlowSim sim(d.topo, LinkModel{});
+  std::vector<Flow> flows;
+  for (NodeId i = 0; i < 4; ++i)
+    for (NodeId j = 4; j < 8; ++j)
+      flows.push_back(d.flow(i, j, 1000 * (i + j)));
+  const auto plain = sim.fair_rates(flows);
+
+  obs::FlowSolveTrace trace;
+  const auto traced = sim.fair_rates(flows, &trace);
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t f = 0; f < plain.size(); ++f)
+    EXPECT_EQ(plain[f], traced[f]);  // bit-identical
+
+  const std::vector<std::vector<Flow>> sets{flows};
+  for (const std::int32_t threads : {1, 2, 4}) {
+    const auto batch = sim.solve_batch(sets, threads);
+    ASSERT_EQ(batch[0].size(), plain.size());
+    for (std::size_t f = 0; f < plain.size(); ++f)
+      EXPECT_EQ(batch[0][f], plain[f]) << "threads=" << threads;
+  }
+}
+
+TEST(FlowSim, SolverTraceRecordsLevelsFreezesAndSaturation) {
+  const Dumbbell d;
+  LinkModel link;
+  const FlowSim sim(d.topo, link);
+  std::vector<Flow> flows;
+  for (NodeId i = 0; i < 4; ++i) flows.push_back(d.flow(i, 4 + i, 1000));
+  flows.push_back(Flow{{}, 500});  // self-send: excluded from active_flows
+  obs::FlowSolveTrace trace;
+  const auto rates = sim.fair_rates(flows, &trace);
+  EXPECT_TRUE(std::isinf(rates[4]));  // self-send semantics
+
+  ASSERT_EQ(trace.solves.size(), 1u);
+  const obs::FlowSolveRecord& rec = trace.solves[0];
+  EXPECT_EQ(rec.active_flows, 4);
+  ASSERT_EQ(rec.num_levels(), 1);
+  EXPECT_DOUBLE_EQ(rec.levels[0], link.bandwidth / 4.0);
+  EXPECT_EQ(rec.freezes_per_level[0], 4);
+  // Exactly the shared cable saturates: up/down links carry one flow each
+  // at a quarter of line rate.
+  ASSERT_EQ(rec.saturated.size(), 1u);
+  EXPECT_EQ(rec.saturated[0], d.ab);
+}
+
+// --- the Figure 1 shared-cable hotspot, seen through the counters ----------------
+
+TEST(HotspotCounters, SharedCableConcentratesTrafficAndXmitWait) {
+  // Seven streams between two adjacent HyperX switches under static DFSSSP
+  // routing serialise on one inter-switch cable (the paper's Figure 1 /
+  // Section 3.2 artefact).  The counters must show it: that cable carries
+  // all 7 x segments packets and the highest credit-stall time (the
+  // PortXmitWait analogue) of any inter-switch channel.
+  const topo::HyperX hx(topo::paper_hyperx_params());
+  routing::LidSpace lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  routing::DfssspEngine engine(8);
+  const routing::RouteResult route = engine.compute(hx.topo(), lids);
+
+  const std::int64_t bytes = 128 * 1024;
+  std::vector<PktMessage> msgs;
+  std::vector<Flow> flows;
+  for (std::int32_t i = 0; i < 7; ++i) {
+    const NodeId src = hx.topo().switch_terminals(0)[i];
+    const NodeId dst = hx.topo().switch_terminals(1)[i];
+    auto path = route.tables.path(hx.topo(), lids, src, lids.base_lid(dst));
+    PktMessage m;
+    m.src = src;
+    m.dst = dst;
+    m.bytes = bytes;
+    m.vl = route.vls.vl(0, lids.base_lid(dst));
+    m.path = path.channels;
+    msgs.push_back(std::move(m));
+    flows.push_back(Flow{std::move(path.channels), bytes});
+  }
+  // All seven minimal paths share the single direct cable.
+  ASSERT_EQ(msgs[0].path.size(), 3u);
+  const ChannelId hot = msgs[0].path[1];
+  for (const PktMessage& m : msgs) {
+    ASSERT_EQ(m.path.size(), 3u);
+    ASSERT_EQ(m.path[1], hot);
+  }
+
+  obs::PktTrace trace;
+  PktSimConfig cfg;
+  cfg.vc_buffer_packets = 1;  // tight buffers: the wait shows in the counters
+  cfg.trace = &trace;
+  PktSim sim(hx.topo(), cfg);
+  const auto result = sim.run(msgs);
+  ASSERT_FALSE(result.deadlock);
+  ASSERT_EQ(result.packets_delivered, result.packets_total);
+
+  const std::int64_t segments = (bytes + cfg.link.mtu - 1) / cfg.link.mtu;
+  EXPECT_EQ(trace.channel_packets(hot), 7 * segments);
+  EXPECT_GT(trace.channel_credit_stall(hot), 0.0);
+  for (ChannelId ch = 0; ch < hx.topo().num_channels(); ++ch) {
+    if (ch == hot || !hx.topo().is_switch_channel(ch)) continue;
+    EXPECT_LE(trace.channel_packets(ch), trace.channel_packets(hot));
+    EXPECT_LE(trace.channel_credit_stall(ch),
+              trace.channel_credit_stall(hot));
+  }
+
+  // The flow-level view agrees: the shared cable is the first (and only)
+  // channel the max-min solver saturates, at a seventh of line rate each.
+  const FlowSim fsim(hx.topo(), LinkModel{});
+  obs::FlowSolveTrace ftrace;
+  const auto rates = fsim.fair_rates(flows, &ftrace);
+  for (double r : rates)
+    EXPECT_DOUBLE_EQ(r, LinkModel{}.bandwidth / 7.0);
+  ASSERT_EQ(ftrace.solves.size(), 1u);
+  const auto& saturated = ftrace.solves[0].saturated;
+  EXPECT_NE(std::find(saturated.begin(), saturated.end(), hot),
+            saturated.end());
 }
 
 // --- NetworkModel facade --------------------------------------------------------
