@@ -54,7 +54,12 @@ int main(int argc, char** argv) {
   topo::HyperX hx(args.quick
                       ? topo::HyperXParams{{6, 4}, 4, "hyperx-6x4"}
                       : topo::paper_hyperx_params());
-  topo::inject_link_faults(hx.topo(), args.quick ? 2 : 15, 1003);
+  // Same degraded fabric as before, expressed as a one-stage fault schedule
+  // (a link-only single stage is bit-identical to the legacy injector).
+  topo::FaultSchedule::Options faults;
+  faults.links_per_stage = args.quick ? 2 : 15;
+  faults.seed = 1003;
+  topo::FaultSchedule::plan(hx.topo(), faults).apply_all(hx.topo());
 
   // A synthetic all-pairs demand over the dense allocation (mpiGraph-like).
   const std::int32_t dense = args.quick ? 16 : 28;

@@ -1,0 +1,220 @@
+// Degraded-fabric resilience campaign (ROADMAP north star; paper §2.3 and
+// footnote 7 generalised): both paper planes are degraded in seeded stages
+// -- random cable faults, whole-switch failures, and a final HyperX plane
+// fault -- and after every stage each routing engine is re-run, its tables
+// are audited (per-VL CDG acyclicity, all-pairs path census) and delivered
+// throughput is measured on uniform-random traffic with the max-min flow
+// solver.  Full mode additionally sweeps the HyperX/DFSSSP combination over
+// the mpiGraph-shift and eBB-bisection patterns.
+//
+// Output: per-engine retention tables, BENCH_resilience.json (one entry
+// per fabric x engine x stage), optional --trace export of the same series
+// through the MetricRegistry.  Exit status is non-zero if any engine's
+// retention envelope is non-monotone or DFSSSP's CDG ever goes cyclic --
+// the two properties the campaign exists to guarantee.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/parx.hpp"
+#include "core/quadrant.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/ftree.hpp"
+#include "routing/sssp.hpp"
+#include "routing/updown.hpp"
+#include "stats/table.hpp"
+#include "stats/units.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/fault_injector.hpp"
+#include "topo/hyperx.hpp"
+#include "workloads/resilience.hpp"
+
+namespace {
+
+using namespace hxsim;
+
+topo::FatTreeParams tree_params(bool quick) {
+  if (!quick) return topo::paper_fat_tree_params();
+  topo::FatTreeParams p;
+  p.arity = 6;
+  p.levels = 3;
+  p.leaf_terminals = 4;
+  p.populated_leaves = 24;  // 96 nodes
+  p.name = "fat-tree-6ary3-small";
+  return p;
+}
+
+topo::HyperXParams hyperx_params(bool quick) {
+  if (!quick) return topo::paper_hyperx_params();
+  topo::HyperXParams p;
+  p.dims = {6, 4};
+  p.terminals_per_switch = 4;  // 96 nodes
+  p.name = "hyperx-6x4-small";
+  return p;
+}
+
+void print_series(const obs::DegradationSeries& series) {
+  stats::TextTable table({"fabric / engine", "stage", "cables", "switches",
+                          "reach", "hops", "inflation", "throughput",
+                          "retention", "CDG", "VLs"});
+  for (const auto& s : series.samples()) {
+    table.add_row({s.fabric + " / " + s.engine, std::to_string(s.stage),
+                   std::to_string(s.cables_failed),
+                   std::to_string(s.switches_failed),
+                   stats::format_fixed(s.reachability, 4),
+                   stats::format_fixed(s.mean_switch_hops, 2),
+                   stats::format_fixed(s.hop_inflation, 2),
+                   stats::format_fixed(s.throughput, 3),
+                   stats::format_fixed(s.retention, 3),
+                   s.engine_failed ? "fail"
+                                   : (s.cdg_acyclic ? "acyclic" : "CYCLE"),
+                   std::to_string(s.vls_used)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void record_series(const obs::DegradationSeries& series,
+                   bench::BenchJson& json) {
+  for (const auto& s : series.samples()) {
+    json.add(s.fabric + "/" + s.engine + "/stage" + std::to_string(s.stage),
+             {{"stage", static_cast<double>(s.stage)},
+              {"cables_failed", static_cast<double>(s.cables_failed)},
+              {"switches_failed", static_cast<double>(s.switches_failed)},
+              {"reachability", s.reachability},
+              {"lost_pairs", static_cast<double>(s.lost_pairs)},
+              {"mean_switch_hops", s.mean_switch_hops},
+              {"hop_inflation", s.hop_inflation},
+              {"throughput", s.throughput},
+              {"retention", s.retention},
+              {"cdg_acyclic", s.cdg_acyclic ? 1.0 : 0.0},
+              {"vls_used", static_cast<double>(s.vls_used)}});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const bool quick = args.quick;
+
+  topo::FatTree ft(tree_params(quick));
+  topo::HyperX hx(hyperx_params(quick));
+
+  workloads::ResilienceOptions opt;
+  opt.schedule.stages = quick ? 3 : 5;
+  opt.schedule.switches_per_stage = 1;
+  opt.schedule.seed = args.seed;
+  opt.traffic_samples = quick ? 4 : 8;
+  opt.traffic_seed = args.seed;
+  opt.threads = args.threads;
+
+  obs::MetricRegistry registry;
+  bench::BenchJson json("resilience");
+  bool monotone = true;
+  bool dfsssp_safe = true;
+
+  // --- fat-tree plane: the paper lost 197 of its 2662 tree links ---------
+  {
+    workloads::ResilienceOptions ft_opt = opt;
+    ft_opt.schedule.links_per_stage = quick ? 4 : 40;  // ~paper scale overall
+    routing::LidSpace lids =
+        routing::LidSpace::consecutive(ft.topo().num_terminals(), 0);
+    routing::FtreeEngine ftree(ft);
+    routing::UpDownEngine updown;
+    routing::SsspEngine sssp;
+    routing::DfssspEngine dfsssp(8);
+    std::vector<workloads::ResilienceEngine> engines;
+    engines.push_back({"ftree", &ftree, lids});
+    engines.push_back({"updown", &updown, lids});
+    engines.push_back({"sssp", &sssp, lids});
+    engines.push_back({"dfsssp", &dfsssp, lids});
+
+    std::printf("== %s: %d stages x (%d links + %d switch) per stage ==\n",
+                ft.topo().name().c_str(), ft_opt.schedule.stages,
+                ft_opt.schedule.links_per_stage,
+                ft_opt.schedule.switches_per_stage);
+    const auto series = workloads::run_resilience_campaign(
+        ft.topo(), ft.topo().name(), engines, ft_opt);
+    print_series(series);
+    series.publish(registry);
+    record_series(series, json);
+    monotone &= series.retention_monotone();
+    dfsssp_safe &= series.all_acyclic("dfsssp");
+  }
+
+  // --- HyperX plane: random cables + switches, then a whole plane fault --
+  {
+    workloads::ResilienceOptions hx_opt = opt;
+    hx_opt.schedule.links_per_stage = quick ? 2 : 5;  // 15 = paper count
+    routing::LidSpace lids =
+        routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+    routing::UpDownEngine updown;
+    routing::SsspEngine sssp;
+    routing::DfssspEngine dfsssp(8);
+    routing::LidSpace parx_lids = core::make_parx_lid_space(hx);
+    core::ParxEngine parx(hx);
+    std::vector<workloads::ResilienceEngine> engines;
+    engines.push_back({"updown", &updown, lids});
+    engines.push_back({"sssp", &sssp, lids});
+    engines.push_back({"dfsssp", &dfsssp, lids});
+    engines.push_back({"parx", &parx, parx_lids});
+
+    // Final stage: one lattice column loses its entire row cabling (a cut
+    // AOC bundle).  In 2-D that isolates the column -- its terminals become
+    // footnote-7 lost LIDs and reachability drops by ~1/S_1.
+    std::vector<topo::FaultStage> extra(1);
+    extra[0].events.push_back(topo::hyperx_plane_fault(hx, 0, 0));
+
+    std::printf("\n== %s: %d stages x (%d links + %d switch), then plane "
+                "fault dim 0 coord 0 ==\n",
+                hx.topo().name().c_str(), hx_opt.schedule.stages,
+                hx_opt.schedule.links_per_stage,
+                hx_opt.schedule.switches_per_stage);
+    const auto series = workloads::run_resilience_campaign(
+        hx.topo(), hx.topo().name(), engines, hx_opt, extra);
+    print_series(series);
+    series.publish(registry);
+    record_series(series, json);
+    monotone &= series.retention_monotone();
+    dfsssp_safe &= series.all_acyclic("dfsssp");
+  }
+
+  // --- full mode: HyperX/DFSSSP across all three traffic patterns --------
+  if (!quick) {
+    routing::LidSpace lids =
+        routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+    for (const auto traffic : {workloads::ResilienceTraffic::kMpiGraphShift,
+                               workloads::ResilienceTraffic::kEbbBisection}) {
+      workloads::ResilienceOptions t_opt = opt;
+      t_opt.schedule.links_per_stage = 5;
+      t_opt.traffic = traffic;
+      routing::DfssspEngine dfsssp(8);
+      std::vector<workloads::ResilienceEngine> engines;
+      engines.push_back(
+          {std::string("dfsssp-") + workloads::to_string(traffic), &dfsssp,
+           lids});
+      std::printf("\n== %s traffic, HyperX/DFSSSP ==\n",
+                  workloads::to_string(traffic));
+      const auto series = workloads::run_resilience_campaign(
+          hx.topo(), hx.topo().name(), engines, t_opt);
+      print_series(series);
+      series.publish(registry);
+      record_series(series, json);
+      monotone &= series.retention_monotone();
+    }
+  }
+
+  json.write();
+  bench::write_trace(args, registry);
+
+  std::printf("\nretention envelopes monotone: %s\n",
+              monotone ? "yes" : "NO (BUG)");
+  std::printf("DFSSSP deadlock-free at every fault rate: %s\n",
+              dfsssp_safe ? "yes" : "NO (BUG)");
+  std::printf("\nReading: `retention` is the worst-so-far fraction of the "
+              "intact fabric's delivered bandwidth (operator guarantee); "
+              "`reach` < 1 is footnote 7's lost-LID effect; SSSP showing "
+              "CYCLE on the HyperX is why DFSSSP exists.\n");
+  return (monotone && dfsssp_safe) ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+#include "obs/resilience.hpp"
+
+#include <map>
+#include <utility>
+
+namespace hxsim::obs {
+
+void DegradationSeries::add(DegradationSample sample) {
+  samples_.push_back(std::move(sample));
+}
+
+bool DegradationSeries::retention_monotone() const {
+  std::map<std::pair<std::string, std::string>, double> last;
+  for (const DegradationSample& s : samples_) {
+    const auto key = std::make_pair(s.fabric, s.engine);
+    const auto it = last.find(key);
+    if (it != last.end() && s.retention > it->second + 1e-12) return false;
+    last[key] = s.retention;
+  }
+  return true;
+}
+
+bool DegradationSeries::all_acyclic(std::string_view engine) const {
+  for (const DegradationSample& s : samples_)
+    if (s.engine == engine && !s.cdg_acyclic) return false;
+  return true;
+}
+
+void DegradationSeries::publish(MetricRegistry& registry) const {
+  for (const DegradationSample& s : samples_) {
+    const std::string name = "resilience_" + s.fabric + "_" + s.engine;
+    MetricRegistry::Table& table = registry.table(
+        name, {"stage", "cables_failed", "switches_failed", "reachability",
+               "lost_pairs", "mean_switch_hops", "hop_inflation",
+               "throughput", "retention", "cdg_acyclic", "vls_used"});
+    table.add_row({static_cast<double>(s.stage),
+                   static_cast<double>(s.cables_failed),
+                   static_cast<double>(s.switches_failed), s.reachability,
+                   static_cast<double>(s.lost_pairs), s.mean_switch_hops,
+                   s.hop_inflation, s.throughput, s.retention,
+                   s.cdg_acyclic ? 1.0 : 0.0,
+                   static_cast<double>(s.vls_used)});
+    // Overwritten by later stages of the same group: the scalar ends up
+    // holding the final (worst) envelope value.
+    registry.set(name + "_final_retention", s.retention);
+  }
+}
+
+}  // namespace hxsim::obs

@@ -4,6 +4,14 @@
 // virtual lanes such that each lane's channel dependency graph is acyclic.
 // The paper uses DFSSSP as the default HyperX routing (3 VLs suffice on the
 // 12x8) and as the base algorithm PARX modifies.
+//
+// Paper cross-reference: Sections 2.1 and 3.2; PARX (Section 3.2.3,
+// Algorithm 1) reuses assign_vls() below after routing each quadrant's
+// pruned fabric per rules R1-R4 (core/quadrant.hpp), which is why PARX
+// tables always verify acyclic in routing/verify.hpp's fabric audit.
+// DFSSSP's VL budget is the failure mode the resilience campaign probes:
+// heavy degradation can push the layering past max_vls (a thrown
+// std::runtime_error, recorded as an engine-failed sample).
 #pragma once
 
 #include "routing/engine.hpp"

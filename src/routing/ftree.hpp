@@ -11,6 +11,14 @@
 //
 // ftree paths never create channel-dependency cycles, so one virtual lane
 // suffices.
+//
+// Paper cross-reference: ftree is the fat-tree plane's production routing
+// (Section 2.3; the 3-level full-bisection tree of Table 2) and the
+// baseline every HyperX result is normalised against (Figures 4-7).  It is
+// tree-only by construction -- on the HyperX lattice the quadrant rules
+// R1-R4 of PARX's Algorithm 1 (core/quadrant.hpp, Section 3.2.3) play the
+// role the up/down digit-fixing plays here: both prune the next-hop set per
+// destination LID to keep paths short and deadlock-free.
 #pragma once
 
 #include "routing/engine.hpp"

@@ -14,6 +14,13 @@
 // threads (weights are merely stale by at most batch-1 destinations, which
 // preserves the global balancing property the tests assert).  batch == 1
 // reproduces OpenSM's strictly sequential weight evolution.
+//
+// Paper cross-reference: Section 2.1 (routing survey) and the DFSSSP base
+// pass of [17].  SSSP is what PARX's Algorithm 1 runs *inside each pruned
+// per-LID fabric*: rules R1-R4 (core/quadrant.hpp, Section 3.2.3) first
+// delete the quadrant's forbidden links, then this weighted-Dijkstra
+// balancing routes the survivors.  Run bare on the HyperX it produces the
+// CDG cycles bench/resilience_campaign flags as "CYCLE".
 #pragma once
 
 #include "obs/phase_clock.hpp"

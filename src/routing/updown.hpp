@@ -5,6 +5,12 @@
 // on a single virtual lane at the price of concentrating traffic near the
 // root.  Serves as the topology-agnostic deadlock-free baseline the paper
 // mentions alongside DFSSSP/LASH/Nue.
+//
+// Paper cross-reference: Section 2.1's survey of deadlock-free options for
+// the HyperX.  Up*/Down* needs no virtual lanes where DFSSSP spends them
+// and PARX's Algorithm 1 spends LIDs (rules R1-R4, core/quadrant.hpp), but
+// pays with root congestion -- visible in this repo as the lowest
+// throughput column of bench/resilience_campaign and the engine matrix.
 #pragma once
 
 #include "routing/engine.hpp"

@@ -1,0 +1,121 @@
+#include "routing/verify.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "exec/exec.hpp"
+#include "routing/cdg.hpp"
+#include "routing/forwarding.hpp"
+
+namespace hxsim::routing {
+
+CdgReport verify_deadlock_freedom(const topo::Topology& topo,
+                                  const LidSpace& lids,
+                                  const RouteResult& route) {
+  CdgReport report;
+  report.num_vls = std::max<std::int32_t>(1, route.num_vls_used);
+  // Dependency edges keyed u * num_channels + v, deduplicated per VL.
+  std::vector<std::unordered_set<std::int64_t>> edges(
+      static_cast<std::size_t>(report.num_vls));
+  const std::int64_t nch = topo.num_channels();
+  const std::vector<Lid> all = lids.all_lids();
+
+  for (topo::NodeId src = 0; src < topo.num_terminals(); ++src) {
+    const topo::SwitchId src_sw = topo.attach_switch(src);
+    for (const Lid dlid : all) {
+      const auto path = route.tables.path(topo, lids, src, dlid);
+      if (!path.ok) continue;
+      std::int8_t vl = route.vls.vl(src_sw, dlid);
+      if (vl < 0 || vl >= report.num_vls) vl = 0;
+      auto& layer = edges[static_cast<std::size_t>(vl)];
+      for (std::size_t i = 0; i + 1 < path.channels.size(); ++i) {
+        if (!topo.is_switch_channel(path.channels[i]) ||
+            !topo.is_switch_channel(path.channels[i + 1]))
+          continue;
+        layer.insert(static_cast<std::int64_t>(path.channels[i]) * nch +
+                     path.channels[i + 1]);
+      }
+    }
+  }
+
+  report.edges_per_vl.resize(static_cast<std::size_t>(report.num_vls), 0);
+  for (std::int32_t vl = 0; vl < report.num_vls; ++vl) {
+    const auto& layer = edges[static_cast<std::size_t>(vl)];
+    report.edges_per_vl[static_cast<std::size_t>(vl)] =
+        static_cast<std::int64_t>(layer.size());
+    std::vector<std::pair<std::int32_t, std::int32_t>> list;
+    list.reserve(layer.size());
+    for (const std::int64_t key : layer)
+      list.emplace_back(static_cast<std::int32_t>(key / nch),
+                        static_cast<std::int32_t>(key % nch));
+    if (!acyclic(topo.num_channels(), list)) {
+      report.acyclic = false;
+      if (report.first_cyclic_vl < 0)
+        report.first_cyclic_vl = static_cast<std::int8_t>(vl);
+    }
+  }
+  return report;
+}
+
+PathCensus route_census(const topo::Topology& topo, const LidSpace& lids,
+                        const ForwardingTables& tables, std::int32_t threads) {
+  const std::int32_t n = topo.num_terminals();
+  const std::int32_t per_terminal = lids.lids_per_terminal();
+
+  exec::ThreadPool pool(threads);
+  exec::ScratchArena<PathCensus> partials(pool);
+  pool.parallel_for(n, [&](std::int64_t src64, std::int32_t worker) {
+    const auto src = static_cast<topo::NodeId>(src64);
+    PathCensus& c = partials.local(worker);
+    for (topo::NodeId dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      ++c.pairs;
+      std::int32_t best_hops = -1;
+      for (std::int32_t x = 0; x < per_terminal; ++x) {
+        ++c.lid_paths;
+        const auto path = tables.path(topo, lids, src, lids.lid(dst, x));
+        if (!path.ok) {
+          ++c.lost_lid_paths;
+          continue;
+        }
+        const std::int32_t hops = path.switch_hops();
+        if (best_hops < 0 || hops < best_hops) best_hops = hops;
+      }
+      if (best_hops < 0) {
+        ++c.lost_pairs;
+      } else {
+        ++c.routable_pairs;
+        c.total_switch_hops += best_hops;
+        c.max_switch_hops = std::max(c.max_switch_hops, best_hops);
+      }
+    }
+  });
+
+  // Integer sums and a max: the merge is order-independent, so the census
+  // is identical at any thread count.
+  PathCensus total;
+  for (std::int32_t w = 0; w < partials.size(); ++w) {
+    const PathCensus& c = partials.local(w);
+    total.pairs += c.pairs;
+    total.routable_pairs += c.routable_pairs;
+    total.lost_pairs += c.lost_pairs;
+    total.lid_paths += c.lid_paths;
+    total.lost_lid_paths += c.lost_lid_paths;
+    total.total_switch_hops += c.total_switch_hops;
+    total.max_switch_hops = std::max(total.max_switch_hops, c.max_switch_hops);
+  }
+  return total;
+}
+
+RerouteOutcome reroute_and_verify(RoutingEngine& engine,
+                                  const topo::Topology& topo,
+                                  const LidSpace& lids, std::int32_t threads) {
+  RerouteOutcome out;
+  out.route = engine.compute(topo, lids);
+  out.cdg = verify_deadlock_freedom(topo, lids, out.route);
+  out.census = route_census(topo, lids, out.route.tables, threads);
+  return out;
+}
+
+}  // namespace hxsim::routing

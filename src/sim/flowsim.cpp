@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "exec/exec.hpp"
 
@@ -162,8 +163,29 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
   for (topo::ChannelId ch : used) local_of[static_cast<std::size_t>(ch)] = -1;
 }
 
+void FlowSim::validate(std::span<const Flow> flows) const {
+  // Degraded-fabric guard: a flow routed before fault injection can carry a
+  // stale path over a now-disabled cable.  Solving over it would silently
+  // grant bandwidth a broken cable cannot carry, so reject the flow set the
+  // same way PktSim rejects invalid static paths at injection.
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (const topo::ChannelId ch : flows[f].channels) {
+      if (ch < 0 || ch >= topo_->num_channels())
+        throw std::invalid_argument("FlowSim: flow " + std::to_string(f) +
+                                    " names unknown channel " +
+                                    std::to_string(ch));
+      if (!topo_->channel(ch).enabled)
+        throw std::invalid_argument("FlowSim: flow " + std::to_string(f) +
+                                    " crosses disabled channel " +
+                                    std::to_string(ch) +
+                                    " (stale path on a degraded fabric?)");
+    }
+  }
+}
+
 std::vector<double> FlowSim::fair_rates(std::span<const Flow> flows,
                                         obs::FlowSolveTrace* trace) const {
+  validate(flows);
   SolveScratch scratch;
   std::vector<double> rate(flows.size(), 0.0);
   scratch.active.assign(flows.size(), 1);
@@ -182,6 +204,7 @@ std::vector<std::vector<double>> FlowSim::solve_batch(
       [&](std::int64_t s, std::int32_t worker) {
         SolveScratch& scratch = arena.local(worker);
         const std::vector<Flow>& flows = flow_sets[static_cast<std::size_t>(s)];
+        validate(flows);
         auto& rate = rates[static_cast<std::size_t>(s)];
         rate.assign(flows.size(), 0.0);
         scratch.active.assign(flows.size(), 1);
@@ -192,6 +215,7 @@ std::vector<std::vector<double>> FlowSim::solve_batch(
 
 std::vector<double> FlowSim::completion_times(
     std::span<const Flow> flows, obs::FlowSolveTrace* trace) const {
+  validate(flows);
   std::vector<double> done(flows.size(), 0.0);
   std::vector<double> remaining_bytes(flows.size());
   std::vector<char> active(flows.size(), 0);

@@ -89,6 +89,12 @@ class FlowSim {
       obs::FlowSolveTrace* trace = nullptr) const;
 
  private:
+  /// Degraded-fabric guard shared by the public entry points: throws
+  /// std::invalid_argument (naming the flow index) when a flow crosses a
+  /// disabled or unknown channel -- a stale path routed before fault
+  /// injection must be re-routed, not solved.
+  void validate(std::span<const Flow> flows) const;
+
   /// Max-min over a subset of flows (active[i] selects), writing rates.
   /// `record`, when non-null, captures the solve's convergence trace.
   void solve(std::span<const Flow> flows, std::span<const char> active,

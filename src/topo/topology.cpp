@@ -81,10 +81,22 @@ std::vector<SwitchId> Topology::switch_neighbors(SwitchId sw) const {
 }
 
 bool Topology::switches_connected() const {
-  if (num_switches() == 0) return true;
+  const std::vector<char> alive(static_cast<std::size_t>(num_switches()), 1);
+  return switches_connected(alive);
+}
+
+bool Topology::switches_connected(std::span<const char> alive) const {
+  std::int32_t num_alive = 0;
+  SwitchId start = kInvalidSwitch;
+  for (SwitchId sw = 0; sw < num_switches(); ++sw) {
+    if (!alive[static_cast<std::size_t>(sw)]) continue;
+    if (start == kInvalidSwitch) start = sw;
+    ++num_alive;
+  }
+  if (num_alive <= 1) return true;
   std::vector<char> seen(static_cast<std::size_t>(num_switches()), 0);
-  std::vector<SwitchId> stack{0};
-  seen[0] = 1;
+  std::vector<SwitchId> stack{start};
+  seen[static_cast<std::size_t>(start)] = 1;
   std::int32_t visited = 1;
   while (!stack.empty()) {
     const SwitchId sw = stack.back();
@@ -93,14 +105,13 @@ bool Topology::switches_connected() const {
       const Channel& c = channel(ch);
       if (!c.enabled || !c.dst.is_switch()) continue;
       const auto next = static_cast<std::size_t>(c.dst.index);
-      if (!seen[next]) {
-        seen[next] = 1;
-        ++visited;
-        stack.push_back(c.dst.index);
-      }
+      if (!alive[next] || seen[next]) continue;
+      seen[next] = 1;
+      ++visited;
+      stack.push_back(c.dst.index);
     }
   }
-  return visited == num_switches();
+  return visited == num_alive;
 }
 
 std::string Topology::to_dot() const {

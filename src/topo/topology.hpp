@@ -138,6 +138,12 @@ class Topology {
   /// True if every switch can reach every other over enabled channels.
   [[nodiscard]] bool switches_connected() const;
 
+  /// True if every switch with alive[sw] != 0 can reach every other alive
+  /// switch over enabled channels through alive switches only.  Used by the
+  /// fault scheduler: failed switches are expected casualties, the
+  /// survivors must stay mutually connected.
+  [[nodiscard]] bool switches_connected(std::span<const char> alive) const;
+
   /// Graphviz DOT dump (switches as boxes, terminals as points).
   [[nodiscard]] std::string to_dot() const;
 

@@ -126,9 +126,13 @@ Machine make_machine(TopologyKind kind, bool faulty) {
     }
   }
   if (faulty) {
-    // A handful of broken cables, like the paper's fabrics.
-    topo::inject_link_faults(
-        *const_cast<topo::Topology*>(m.topology), 3, 0xfab);
+    // A handful of broken cables, like the paper's fabrics -- planned as a
+    // one-stage schedule (identical cables to the legacy injector).
+    auto& fabric = *const_cast<topo::Topology*>(m.topology);
+    topo::FaultSchedule::Options faults;
+    faults.links_per_stage = 3;
+    faults.seed = 0xfab;
+    topo::FaultSchedule::plan(fabric, faults).apply_all(fabric);
   }
   return m;
 }
