@@ -1,11 +1,64 @@
 #include "core/parx.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "routing/dfsssp.hpp"
 #include "routing/spf.hpp"
 
 namespace hxsim::core {
+
+namespace {
+
+/// Destination processing order: demand-listed nodes first (they get the
+/// freshest weight landscape), then all remaining nodes (Algorithm 1's
+/// "not processed before" loop).  Returns the order and the listed count.
+std::pair<std::vector<topo::NodeId>, std::size_t> parx_dest_order(
+    const topo::Topology& topo, const DemandMatrix& demands) {
+  std::vector<topo::NodeId> order;
+  order.reserve(static_cast<std::size_t>(topo.num_terminals()));
+  if (!demands.empty()) {
+    for (topo::NodeId n = 0; n < topo.num_terminals(); ++n)
+      if (demands.is_listed_destination(n)) order.push_back(n);
+  }
+  const std::size_t listed = order.size();
+  for (topo::NodeId n = 0; n < topo.num_terminals(); ++n) {
+    if (!demands.empty() && demands.is_listed_destination(n)) continue;
+    order.push_back(n);
+  }
+  return {std::move(order), listed};
+}
+
+/// Edge-weight update after routing one (destination, LIDx) column:
+/// demand-weighted for listed destinations, +1 per path otherwise.  Shared
+/// by compute and the delta prefix replay, which re-derives the sequential
+/// weight evolution from cached trees without re-running any Dijkstra.
+void add_parx_load(const topo::Topology& topo, const DemandMatrix& demands,
+                   const ParxOptions& options, const routing::SpfResult& tree,
+                   topo::SwitchId dest_sw, topo::NodeId nd, bool is_listed,
+                   std::vector<double>& weight) {
+  for (topo::SwitchId s = 0; s < topo.num_switches(); ++s) {
+    if (s == dest_sw || !tree.reachable(s)) continue;
+    double delta = 0.0;
+    for (const topo::NodeId nx : topo.switch_terminals(s)) {
+      if (is_listed && options.use_demand_weights) {
+        delta += static_cast<double>(demands.at(nx, nd));
+      } else {
+        delta += 1.0;
+      }
+    }
+    if (delta == 0.0) continue;
+    topo::SwitchId at = s;
+    while (at != dest_sw) {
+      const topo::ChannelId out =
+          tree.out_channel[static_cast<std::size_t>(at)];
+      weight[static_cast<std::size_t>(out)] += delta;
+      at = topo.channel(out).dst.index;
+    }
+  }
+}
+
+}  // namespace
 
 ParxEngine::ParxEngine(const topo::HyperX& hx, DemandMatrix demands,
                        ParxOptions options)
@@ -13,8 +66,9 @@ ParxEngine::ParxEngine(const topo::HyperX& hx, DemandMatrix demands,
   validate_parx_topology(hx);
 }
 
-routing::RouteResult ParxEngine::compute(const topo::Topology& topo,
-                                         const routing::LidSpace& lids) {
+routing::RouteResult ParxEngine::compute_impl(const topo::Topology& topo,
+                                              const routing::LidSpace& lids,
+                                              routing::TreeTrackState* track) {
   if (&hx_->topo() != &topo)
     throw std::invalid_argument("ParxEngine: topology is not the HyperX");
   if (lids.lmc() != kParxLmc)
@@ -25,59 +79,49 @@ routing::RouteResult ParxEngine::compute(const topo::Topology& topo,
   routing::RouteResult res;
   res.tables = routing::ForwardingTables(topo.num_switches(), lids.max_lid());
 
-  // Destination processing order: demand-listed nodes first (they get the
-  // freshest weight landscape), then all remaining nodes (Algorithm 1's
-  // "not processed before" loop).
-  std::vector<topo::NodeId> order;
-  order.reserve(static_cast<std::size_t>(topo.num_terminals()));
-  if (!demands_.empty()) {
-    for (topo::NodeId n = 0; n < topo.num_terminals(); ++n)
-      if (demands_.is_listed_destination(n)) order.push_back(n);
-  }
-  const std::size_t listed = order.size();
-  for (topo::NodeId n = 0; n < topo.num_terminals(); ++n) {
-    if (!demands_.empty() && demands_.is_listed_destination(n)) continue;
-    order.push_back(n);
+  const auto [order, listed] = parx_dest_order(topo, demands_);
+  const auto lids_per = static_cast<std::size_t>(lids.lids_per_terminal());
+  if (track != nullptr) {
+    track->valid = false;
+    track->columns.resize(order.size() * lids_per);
   }
 
   std::vector<double> weight(static_cast<std::size_t>(topo.num_channels()),
                              1.0);
+  routing::SpfScratch scratch;
+  routing::SpfResult local_tree;
 
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const topo::NodeId nd = order[rank];
     const bool is_listed = rank < listed;
     const topo::SwitchId dest_sw = topo.attach_switch(nd);
 
-    for (std::int32_t x = 0; x < lids.lids_per_terminal(); ++x) {
+    for (std::int32_t x = 0;
+         x < static_cast<std::int32_t>(lids_per); ++x) {
       // Create the temporary graph I* by removing links per rules R1-R4.
       routing::ChannelFilter filter;
       if (options_.use_link_pruning) filter = parx_prune_filter(*hx_, x);
-      const routing::SpfResult tree =
-          routing::spf_to(topo, dest_sw, weight, filter);
-      res.unreachable_entries += routing::apply_tree_to_tables(
-          topo, tree, nd, lids.lid(nd, x), res.tables);
+      const routing::Lid dlid = lids.lid(nd, x);
 
-      // Edge-weight update before the next round: demand-weighted for
-      // listed destinations, +1 per path otherwise.
-      for (topo::SwitchId s = 0; s < topo.num_switches(); ++s) {
-        if (s == dest_sw || !tree.reachable(s)) continue;
-        double delta = 0.0;
-        for (const topo::NodeId nx : topo.switch_terminals(s)) {
-          if (is_listed && options_.use_demand_weights) {
-            delta += static_cast<double>(demands_.at(nx, nd));
-          } else {
-            delta += 1.0;
-          }
-        }
-        if (delta == 0.0) continue;
-        topo::SwitchId at = s;
-        while (at != dest_sw) {
-          const topo::ChannelId out =
-              tree.out_channel[static_cast<std::size_t>(at)];
-          weight[static_cast<std::size_t>(out)] += delta;
-          at = topo.channel(out).dst.index;
-        }
+      routing::SpfResult* tree = &local_tree;
+      routing::ChannelBitmap* member = nullptr;
+      if (track != nullptr) {
+        routing::TreeColumnState& col =
+            track->columns[rank * lids_per + static_cast<std::size_t>(x)];
+        col.dlid = dlid;
+        tree = &col.tree;
+        member = &col.member;
       }
+      routing::spf_to(topo, dest_sw, weight, filter, scratch, *tree, member);
+      const std::int64_t unreachable = routing::apply_tree_to_tables(
+          topo, *tree, nd, dlid, res.tables);
+      res.unreachable_entries += unreachable;
+      if (track != nullptr)
+        track->columns[rank * lids_per + static_cast<std::size_t>(x)]
+            .unreachable = unreachable;
+
+      add_parx_load(topo, demands_, options_, *tree, dest_sw, nd, is_listed,
+                    weight);
     }
   }
 
@@ -85,7 +129,88 @@ routing::RouteResult ParxEngine::compute(const topo::Topology& topo,
   // virtual LIDs) to a virtual lane without creating a CDG cycle.
   routing::DfssspEngine::assign_vls(topo, lids, res.tables, options_.max_vls,
                                     res);
+  if (track != nullptr) track->valid = true;
   return res;
+}
+
+routing::RouteResult ParxEngine::compute(const topo::Topology& topo,
+                                         const routing::LidSpace& lids) {
+  return compute_impl(topo, lids, nullptr);
+}
+
+routing::RouteResult ParxEngine::compute_tracked(
+    const topo::Topology& topo, const routing::LidSpace& lids) {
+  return compute_impl(topo, lids, &track_);
+}
+
+routing::DeltaStats ParxEngine::update_tracked(
+    const topo::Topology& topo, const routing::LidSpace& lids,
+    const routing::DeltaUpdate& update, routing::RouteResult& io) {
+  routing::DeltaStats stats;
+  if (!track_.valid || !update.enabled.empty()) {
+    stats.full_recompute = true;
+    io = compute_tracked(topo, lids);
+    stats.columns_total = static_cast<std::int64_t>(track_.columns.size());
+    stats.columns_recomputed = stats.columns_total;
+    stats.columns_changed = stats.columns_total;
+    return stats;
+  }
+
+  const auto n = track_.columns.size();
+  stats.columns_total = static_cast<std::int64_t>(n);
+  std::size_t first = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (track_.columns[i].member.intersects(update.disabled)) {
+      first = i;
+      break;
+    }
+  }
+  if (first == n) return stats;  // no tree used a disabled channel
+
+  const auto [order, listed] = parx_dest_order(topo, demands_);
+  const auto lids_per = static_cast<std::size_t>(lids.lids_per_terminal());
+
+  // Algorithm 1 updates weights after every single column (batch 1), so
+  // the clean-reuse window ends exactly at the first dirty column: replay
+  // the weight evolution of [0, first) from the cached trees, then rerun
+  // the sequential loop from there.
+  std::vector<double> weight(static_cast<std::size_t>(topo.num_channels()),
+                             1.0);
+  routing::SpfScratch scratch;
+  routing::SpfResult tree;
+  routing::ChannelBitmap member;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t rank = i / lids_per;
+    const auto x = static_cast<std::int32_t>(i % lids_per);
+    const topo::NodeId nd = order[rank];
+    const bool is_listed = rank < listed;
+    const topo::SwitchId dest_sw = topo.attach_switch(nd);
+    routing::TreeColumnState& col = track_.columns[i];
+
+    if (i >= first) {
+      ++stats.columns_recomputed;
+      routing::ChannelFilter filter;
+      if (options_.use_link_pruning) filter = parx_prune_filter(*hx_, x);
+      routing::spf_to(topo, dest_sw, weight, filter, scratch, tree, &member);
+      const bool changed = tree.out_channel != col.tree.out_channel;
+      std::swap(col.tree, tree);
+      std::swap(col.member, member);
+      if (changed) {
+        col.unreachable = routing::apply_tree_to_tables(topo, col.tree, nd,
+                                                        col.dlid, io.tables);
+        stats.dirty_lids.push_back(col.dlid);
+        ++stats.columns_changed;
+      }
+    }
+    add_parx_load(topo, demands_, options_, col.tree, dest_sw, nd, is_listed,
+                  weight);
+  }
+  io.unreachable_entries = track_.total_unreachable();
+  if (stats.columns_changed > 0)
+    routing::DfssspEngine::assign_vls(topo, lids, io.tables, options_.max_vls,
+                                      io);
+  return stats;
 }
 
 }  // namespace hxsim::core

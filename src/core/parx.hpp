@@ -14,6 +14,7 @@
 
 #include "core/demand.hpp"
 #include "core/quadrant.hpp"
+#include "routing/delta.hpp"
 #include "routing/engine.hpp"
 
 namespace hxsim::core {
@@ -29,7 +30,8 @@ struct ParxOptions {
   bool use_link_pruning = true;
 };
 
-class ParxEngine final : public routing::RoutingEngine {
+class ParxEngine final : public routing::RoutingEngine,
+                         public routing::DeltaCapable {
  public:
   /// The HyperX must outlive the engine.  An empty demand matrix routes
   /// all destinations with the +1 fallback (last loop of Algorithm 1).
@@ -38,8 +40,12 @@ class ParxEngine final : public routing::RoutingEngine {
 
   /// Re-routing trigger: ingest a new communication profile before the next
   /// compute() (the paper's OpenSM interface re-routes the fabric prior to
-  /// job start).
-  void set_demands(DemandMatrix demands) { demands_ = std::move(demands); }
+  /// job start).  Invalidates any tracked delta state: the destination
+  /// order and weight evolution both depend on the profile.
+  void set_demands(DemandMatrix demands) {
+    demands_ = std::move(demands);
+    track_.valid = false;
+  }
 
   [[nodiscard]] std::string name() const override { return "parx"; }
 
@@ -49,10 +55,28 @@ class ParxEngine final : public routing::RoutingEngine {
                                              const routing::LidSpace& lids)
       override;
 
+  // DeltaCapable.  Algorithm 1's weight evolution is strictly sequential
+  // (batch 1), so an update replays the weight contributions of the
+  // columns before the first membership-dirty (destination rank, LIDx)
+  // column from the cached trees and recomputes every column from there
+  // on; the VL placement re-runs iff any LFT column changed.
+  [[nodiscard]] routing::RouteResult compute_tracked(
+      const topo::Topology& topo, const routing::LidSpace& lids) override;
+  routing::DeltaStats update_tracked(const topo::Topology& topo,
+                                     const routing::LidSpace& lids,
+                                     const routing::DeltaUpdate& update,
+                                     routing::RouteResult& io) override;
+  void invalidate_tracking() noexcept override { track_.valid = false; }
+
  private:
+  routing::RouteResult compute_impl(const topo::Topology& topo,
+                                    const routing::LidSpace& lids,
+                                    routing::TreeTrackState* track);
+
   const topo::HyperX* hx_;
   DemandMatrix demands_;
   ParxOptions options_;
+  routing::TreeTrackState track_;
 };
 
 }  // namespace hxsim::core

@@ -35,6 +35,13 @@ ThreadPool::ThreadPool(std::int32_t threads)
     : num_threads_(threads == 0 ? default_threads() : threads) {
   if (num_threads_ < 1)
     throw std::invalid_argument("ThreadPool: thread count must be >= 1");
+  // Workers spawn lazily in ensure_workers(): per-stage delta reroutes
+  // routinely run parallel_for over a handful of dirty trees (or none),
+  // and must not pay num_threads-1 thread spawns for it.
+}
+
+void ThreadPool::ensure_workers() {
+  if (num_threads_ <= 1 || !workers_.empty()) return;
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (std::int32_t w = 1; w < num_threads_; ++w)
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -97,6 +104,7 @@ void ThreadPool::parallel_for(
         "ThreadPool::parallel_for: nested parallel regions are not "
         "supported");
   if (count <= 0) return;
+  if (count > 1) ensure_workers();
 
   {
     std::lock_guard lock(mutex_);

@@ -41,7 +41,10 @@ void set_default_threads(std::int32_t threads);
 class ThreadPool {
  public:
   /// threads == 0 picks default_threads(); threads == 1 runs inline with
-  /// no OS threads.  Workers are spawned once and live until destruction.
+  /// no OS threads.  Worker threads are spawned lazily by the first
+  /// parallel_for with more than one index and live until destruction, so
+  /// pools that end up doing tiny jobs (a delta reroute with an empty
+  /// dirty set) never pay the thread-spawn cost.
   explicit ThreadPool(std::int32_t threads = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -58,6 +61,10 @@ class ThreadPool {
                     const std::function<void(std::int64_t, std::int32_t)>& body);
 
  private:
+  /// Spawns the num_threads()-1 worker threads if not yet running.  Only
+  /// called from parallel_for on the owning thread (the pool is not
+  /// reentrant), so no lock is needed around the check.
+  void ensure_workers();
   void worker_main(std::int32_t worker);
   /// Claims and runs indices of the current job; returns when none remain.
   void run_indices(const std::function<void(std::int64_t, std::int32_t)>& body,

@@ -24,11 +24,12 @@
 #pragma once
 
 #include "obs/phase_clock.hpp"
+#include "routing/delta.hpp"
 #include "routing/engine.hpp"
 
 namespace hxsim::routing {
 
-class SsspEngine : public RoutingEngine {
+class SsspEngine : public RoutingEngine, public DeltaCapable {
  public:
   /// Destinations per weight snapshot; chosen small enough that the
   /// balancing quality is indistinguishable from the sequential update on
@@ -44,6 +45,21 @@ class SsspEngine : public RoutingEngine {
   [[nodiscard]] RouteResult compute(const topo::Topology& topo,
                                     const LidSpace& lids) override;
 
+  // DeltaCapable.  Weights evolve across destinations, so an update cannot
+  // recompute dirty columns in isolation: it replays the weight evolution
+  // of the clean prefix from the cached trees (a serial table walk, no
+  // Dijkstras), recomputes only the membership-dirty columns of the first
+  // dirty batch (their weight snapshot is unchanged), and recomputes
+  // everything after that batch because the weight landscape may have
+  // diverged.  Post-divergence re-runs frequently reproduce the cached
+  // tree; only genuinely changed columns are patched and reported.
+  [[nodiscard]] RouteResult compute_tracked(const topo::Topology& topo,
+                                            const LidSpace& lids) override;
+  DeltaStats update_tracked(const topo::Topology& topo, const LidSpace& lids,
+                            const DeltaUpdate& update,
+                            RouteResult& io) override;
+  void invalidate_tracking() noexcept override { track_.valid = false; }
+
   /// Attaches a phase-timer sink (not owned; may be nullptr to detach).
   /// compute() then accumulates wall time under "spf_trees" (parallel
   /// Dijkstra batches) and "table_merge" (serial table + weight merge).
@@ -53,9 +69,13 @@ class SsspEngine : public RoutingEngine {
   }
 
  private:
+  RouteResult compute_impl(const topo::Topology& topo, const LidSpace& lids,
+                           TreeTrackState* track);
+
   std::int32_t threads_;
   std::int32_t batch_;
   obs::PhaseTimings* timings_ = nullptr;
+  TreeTrackState track_;
 };
 
 }  // namespace hxsim::routing

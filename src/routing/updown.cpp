@@ -8,8 +8,8 @@
 
 namespace hxsim::routing {
 
-RouteResult UpDownEngine::compute(const topo::Topology& topo,
-                                  const LidSpace& lids) {
+std::vector<std::int32_t> UpDownEngine::compute_ranks(
+    const topo::Topology& topo) const {
   topo::SwitchId root = root_;
   if (root < 0) {
     std::size_t best_degree = 0;
@@ -26,23 +26,31 @@ RouteResult UpDownEngine::compute(const topo::Topology& topo,
     throw std::out_of_range("UpDownEngine: root out of range");
 
   // BFS ranks over enabled switch links.
-  ranks_.assign(static_cast<std::size_t>(topo.num_switches()), -1);
+  std::vector<std::int32_t> ranks(
+      static_cast<std::size_t>(topo.num_switches()), -1);
   std::deque<topo::SwitchId> queue{root};
-  ranks_[static_cast<std::size_t>(root)] = 0;
+  ranks[static_cast<std::size_t>(root)] = 0;
   while (!queue.empty()) {
     const topo::SwitchId sw = queue.front();
     queue.pop_front();
     for (topo::SwitchId nb : topo.switch_neighbors(sw)) {
-      auto& r = ranks_[static_cast<std::size_t>(nb)];
+      auto& r = ranks[static_cast<std::size_t>(nb)];
       if (r < 0) {
-        r = ranks_[static_cast<std::size_t>(sw)] + 1;
+        r = ranks[static_cast<std::size_t>(sw)] + 1;
         queue.push_back(nb);
       }
     }
   }
   // Unreachable switches (disconnected fabrics) sink below everything.
-  for (auto& r : ranks_)
+  for (auto& r : ranks)
     if (r < 0) r = topo.num_switches();
+  return ranks;
+}
+
+RouteResult UpDownEngine::compute_impl(const topo::Topology& topo,
+                                       const LidSpace& lids,
+                                       TreeTrackState* track) {
+  ranks_ = compute_ranks(topo);
 
   RouteResult res;
   res.tables = ForwardingTables(topo.num_switches(), lids.max_lid());
@@ -52,6 +60,10 @@ RouteResult UpDownEngine::compute(const topo::Topology& topo,
   // each index writes only its own LFT column and unreachable slot.
   const std::vector<Lid> all = lids.all_lids();
   std::vector<std::int64_t> unreachable(all.size(), 0);
+  if (track != nullptr) {
+    track->valid = false;
+    track->columns.resize(all.size());
+  }
 
   struct Scratch {
     SpfScratch spf;
@@ -65,13 +77,87 @@ RouteResult UpDownEngine::compute(const topo::Topology& topo,
         Scratch& sc = arena.local(worker);
         const Lid dlid = all[static_cast<std::size_t>(d)];
         const LidSpace::Owner owner = lids.owner(dlid);
-        updown_spf_to(topo, topo.attach_switch(owner.node), ranks_, {}, {},
-                      sc.spf, sc.tree);
-        unreachable[static_cast<std::size_t>(d)] = apply_tree_to_tables(
-            topo, sc.tree, owner.node, dlid, res.tables);
+        if (track != nullptr) {
+          TreeColumnState& col = track->columns[static_cast<std::size_t>(d)];
+          col.dlid = dlid;
+          updown_spf_to(topo, topo.attach_switch(owner.node), ranks_, {}, {},
+                        sc.spf, col.tree, &col.member);
+          col.unreachable = apply_tree_to_tables(topo, col.tree, owner.node,
+                                                 dlid, res.tables);
+          unreachable[static_cast<std::size_t>(d)] = col.unreachable;
+        } else {
+          updown_spf_to(topo, topo.attach_switch(owner.node), ranks_, {}, {},
+                        sc.spf, sc.tree);
+          unreachable[static_cast<std::size_t>(d)] = apply_tree_to_tables(
+              topo, sc.tree, owner.node, dlid, res.tables);
+        }
       });
   for (const std::int64_t u : unreachable) res.unreachable_entries += u;
+  if (track != nullptr) track->valid = true;
   return res;
+}
+
+RouteResult UpDownEngine::compute(const topo::Topology& topo,
+                                  const LidSpace& lids) {
+  return compute_impl(topo, lids, nullptr);
+}
+
+RouteResult UpDownEngine::compute_tracked(const topo::Topology& topo,
+                                          const LidSpace& lids) {
+  RouteResult res = compute_impl(topo, lids, &track_);
+  track_ranks_ = ranks_;
+  return res;
+}
+
+DeltaStats UpDownEngine::update_tracked(const topo::Topology& topo,
+                                        const LidSpace& lids,
+                                        const DeltaUpdate& update,
+                                        RouteResult& io) {
+  std::vector<std::int32_t> fresh = compute_ranks(topo);
+  // Rank changes confined to switches with no enabled switch links are
+  // harmless: updown_spf_to only reads the ranks of endpoints of enabled
+  // channels, so an isolated switch's (sink) rank is never consulted and
+  // every surviving column's tree is unaffected.  Rank shifts at any
+  // still-connected switch (root migration, BFS distance change) genuinely
+  // reorient up/down legality and force the full fallback.
+  bool ranks_compatible = track_.valid && update.enabled.empty();
+  if (ranks_compatible) {
+    for (topo::SwitchId sw = 0; sw < topo.num_switches(); ++sw) {
+      if (fresh[static_cast<std::size_t>(sw)] ==
+          track_ranks_[static_cast<std::size_t>(sw)])
+        continue;
+      if (!topo.switch_neighbors(sw).empty()) {
+        ranks_compatible = false;
+        break;
+      }
+    }
+  }
+  if (!ranks_compatible) {
+    DeltaStats stats;
+    stats.full_recompute = true;
+    io = compute_tracked(topo, lids);
+    stats.columns_total = static_cast<std::int64_t>(track_.columns.size());
+    stats.columns_recomputed = stats.columns_total;
+    stats.columns_changed = stats.columns_total;
+    return stats;
+  }
+  // Adopt the fresh ranks (they differ only at isolated switches) so dirty
+  // columns recompute under exactly the rank vector a full compute() would
+  // use -- keeping delta tables bit-identical to a from-scratch run.
+  track_ranks_ = std::move(fresh);
+  ranks_ = track_ranks_;
+
+  const std::int32_t nthreads =
+      threads_ == 0 ? exec::default_threads() : threads_;
+  exec::ScratchArena<SpfScratch> arena(nthreads);
+  return delta_detail::update_independent_columns(
+      topo, lids, update, io, track_, threads_,
+      [&](const TreeColumnState& col, std::int32_t worker, SpfResult& tree,
+          ChannelBitmap& member) {
+        const LidSpace::Owner owner = lids.owner(col.dlid);
+        updown_spf_to(topo, topo.attach_switch(owner.node), track_ranks_, {},
+                      {}, arena.local(worker), tree, &member);
+      });
 }
 
 }  // namespace hxsim::routing

@@ -108,13 +108,22 @@ PathCensus route_census(const topo::Topology& topo, const LidSpace& lids,
   return total;
 }
 
+RouteAudit audit_route(const topo::Topology& topo, const LidSpace& lids,
+                       const RouteResult& route, std::int32_t threads) {
+  RouteAudit audit;
+  audit.cdg = verify_deadlock_freedom(topo, lids, route);
+  audit.census = route_census(topo, lids, route.tables, threads);
+  return audit;
+}
+
 RerouteOutcome reroute_and_verify(RoutingEngine& engine,
                                   const topo::Topology& topo,
                                   const LidSpace& lids, std::int32_t threads) {
   RerouteOutcome out;
   out.route = engine.compute(topo, lids);
-  out.cdg = verify_deadlock_freedom(topo, lids, out.route);
-  out.census = route_census(topo, lids, out.route.tables, threads);
+  RouteAudit audit = audit_route(topo, lids, out.route, threads);
+  out.cdg = std::move(audit.cdg);
+  out.census = audit.census;
   return out;
 }
 

@@ -76,6 +76,19 @@ struct PathCensus {
                                       const ForwardingTables& tables,
                                       std::int32_t threads = 0);
 
+struct RouteAudit {
+  CdgReport cdg;
+  PathCensus census;
+};
+
+/// Audits an existing RouteResult (deadlock freedom + path census) without
+/// recomputing or copying it -- the incremental campaign path, where the
+/// result lives inside a routing::DeltaRouter and is patched in place.
+[[nodiscard]] RouteAudit audit_route(const topo::Topology& topo,
+                                     const LidSpace& lids,
+                                     const RouteResult& route,
+                                     std::int32_t threads = 0);
+
 struct RerouteOutcome {
   RouteResult route;
   CdgReport cdg;

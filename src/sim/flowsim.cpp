@@ -68,9 +68,10 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
   frozen_load.assign(nused, 0.0);
   unfrozen_count.assign(nused, 0);
   saturated.assign(nused, 0);
-  // Solver-metric recording is off the hot path: the scratch stays
-  // allocation-free, and `ever_saturated` is only sized when tracing.
-  std::vector<char> ever_saturated;
+  // Solver-metric recording is off the hot path: `ever_saturated` lives in
+  // the scratch and is only (re)sized when this solve actually traces, so
+  // traced solves are allocation-free after warm-up too.
+  auto& ever_saturated = scratch.ever_saturated;
   if (record != nullptr) {
     record->active_flows = static_cast<std::int32_t>(remaining);
     ever_saturated.assign(nused, 0);
@@ -81,11 +82,24 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
       ++unfrozen_count[static_cast<std::size_t>(
           local_of[static_cast<std::size_t>(ch)])];
   }
+  // Worklist of channels still carrying unfrozen flows.  Every used
+  // channel starts with unfrozen_count >= 1 (it got into `used` via an
+  // active flow's path); the list is compacted after each level so the
+  // late, sparse filling rounds scan only the few still-live channels
+  // instead of all nused.  Dropped channels are never consulted again:
+  // a flow is skipped once frozen, and an *unfrozen* flow's channels all
+  // have unfrozen_count >= 1 by definition, so stale `saturated` flags on
+  // compacted channels are unreachable.
+  auto& worklist = scratch.worklist;
+  worklist.clear();
+  for (std::size_t c = 0; c < nused; ++c)
+    worklist.push_back(static_cast<std::int32_t>(c));
   while (remaining > 0) {
     // The common level can rise to min over loaded channels of
     // (capacity - frozen_load) / unfrozen_count.
     double level = kInf;
-    for (std::size_t c = 0; c < nused; ++c) {
+    for (const std::int32_t ci : worklist) {
+      const auto c = static_cast<std::size_t>(ci);
       if (unfrozen_count[c] == 0) continue;
       const double cap = std::max(
           0.0, capacity_[static_cast<std::size_t>(used[c])] - frozen_load[c]);
@@ -105,7 +119,24 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
     }
 
     // Freeze every unfrozen flow that crosses a (now) saturated channel.
-    for (std::size_t c = 0; c < nused; ++c) {
+    //
+    // Epsilon note: `cap` is the same max(0, capacity - frozen_load)
+    // clamp the level minimisation used, so cap / unfrozen_count >= 0
+    // always.  Within one solve, frozen_load on a channel with unfrozen
+    // flows left can never exceed capacity (each freeze adds exactly
+    // `level` per flow, and level <= (capacity - frozen_load) /
+    // unfrozen_count for every live channel by the minimisation above) --
+    // the clamp guards only inert channels whose last unfrozen flow
+    // already froze, where ulp-level overshoot of frozen_load is possible
+    // but unobservable.  The (1 + 1e-12) relative slack therefore only
+    // widens the equality test `cap / unfrozen_count == level` against
+    // one ulp of division rounding; since level is the minimum of those
+    // quotients, the slack can re-include the minimising channels but can
+    // never freeze a flow at a "negative-capacity" channel or below 0:
+    // rates out of this solver are always >= 0 (asserted by sim_test's
+    // FlowSim.SaturationEpsilon* regression cases).
+    for (const std::int32_t ci : worklist) {
+      const auto c = static_cast<std::size_t>(ci);
       saturated[c] = 0;
       if (unfrozen_count[c] == 0) continue;
       const double cap = std::max(
@@ -150,13 +181,25 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
     if (record != nullptr) {
       record->levels.push_back(level);
       record->freezes_per_level.push_back(froze_count);
-      for (std::size_t c = 0; c < nused; ++c) {
+      // A channel saturates for the first time in a round where it still
+      // carries unfrozen flows, i.e. while still on the worklist -- so
+      // scanning the (pre-compaction) worklist sees every first
+      // saturation exactly once.
+      for (const std::int32_t ci : worklist) {
+        const auto c = static_cast<std::size_t>(ci);
         if (saturated[c] && !ever_saturated[c]) {
           ever_saturated[c] = 1;
           record->saturated.push_back(used[c]);
         }
       }
     }
+    worklist.erase(
+        std::remove_if(worklist.begin(), worklist.end(),
+                       [&](std::int32_t ci) {
+                         return unfrozen_count[static_cast<std::size_t>(ci)] ==
+                                0;
+                       }),
+        worklist.end());
   }
 
   // Un-dirty the persistent channel map for the next solve on this scratch.
@@ -164,11 +207,19 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
 }
 
 void FlowSim::validate(std::span<const Flow> flows) const {
+  validate_active(flows, {});
+}
+
+void FlowSim::validate_active(std::span<const Flow> flows,
+                              std::span<const char> active) const {
   // Degraded-fabric guard: a flow routed before fault injection can carry a
   // stale path over a now-disabled cable.  Solving over it would silently
   // grant bandwidth a broken cable cannot carry, so reject the flow set the
-  // same way PktSim rejects invalid static paths at injection.
+  // same way PktSim rejects invalid static paths at injection.  Inactive
+  // slots are exempt: a campaign parks lost pairs there precisely because
+  // their stale paths are no longer solvable.
   for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!active.empty() && !active[f]) continue;
     for (const topo::ChannelId ch : flows[f].channels) {
       if (ch < 0 || ch >= topo_->num_channels())
         throw std::invalid_argument("FlowSim: flow " + std::to_string(f) +
@@ -192,6 +243,16 @@ std::vector<double> FlowSim::fair_rates(std::span<const Flow> flows,
   solve(flows, scratch.active, rate, scratch,
         trace != nullptr ? &trace->solves.emplace_back() : nullptr);
   return rate;
+}
+
+void FlowSim::solve_active(std::span<const Flow> flows,
+                           std::span<const char> active,
+                           std::span<double> rate, SolveScratch& scratch,
+                           obs::FlowSolveRecord* record) const {
+  if (active.size() != flows.size() || rate.size() != flows.size())
+    throw std::invalid_argument("FlowSim::solve_active: size mismatch");
+  validate_active(flows, active);
+  solve(flows, active, rate, scratch, record);
 }
 
 std::vector<std::vector<double>> FlowSim::solve_batch(

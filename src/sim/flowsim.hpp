@@ -51,6 +51,13 @@ class FlowSim {
     std::vector<double> frozen_load;
     std::vector<std::int32_t> unfrozen_count;
     std::vector<char> saturated;
+    /// Local indices of channels still carrying unfrozen flows; compacted
+    /// after each filling level so late levels scan only live channels.
+    std::vector<std::int32_t> worklist;
+    /// First-saturation marks for trace recording (sized only when a solve
+    /// actually traces, but persistent so traced solves stay
+    /// allocation-free too).
+    std::vector<char> ever_saturated;
     std::vector<char> active;  // used by the batch driver
   };
 
@@ -74,6 +81,19 @@ class FlowSim {
       std::span<const std::vector<Flow>> flow_sets,
       std::int32_t threads = 0) const;
 
+  /// fair_rates() restricted to the `active` subset of `flows` (same
+  /// length; rate entries of inactive flows are left untouched and their
+  /// paths are neither validated nor inspected).  This is the fault-stage
+  /// reuse entry point: a campaign keeps one Flow vector per traffic set
+  /// alive across stages, deactivates pairs whose destination became
+  /// unreachable (their slots may hold stale paths over dead cables), and
+  /// re-solves in place.  Rates over the active subset are bit-identical
+  /// to fair_rates() on a compacted copy.  `scratch` is caller-owned and
+  /// reusable across solves and stages.
+  void solve_active(std::span<const Flow> flows, std::span<const char> active,
+                    std::span<double> rate, SolveScratch& scratch,
+                    obs::FlowSolveRecord* record = nullptr) const;
+
   /// Completion time of each flow when all start at t = 0 and rates are
   /// re-allocated max-min fairly whenever a flow finishes.  Self-send and
   /// zero-byte flows complete at injection (t = 0; see Flow::channels).
@@ -94,6 +114,10 @@ class FlowSim {
   /// disabled or unknown channel -- a stale path routed before fault
   /// injection must be re-routed, not solved.
   void validate(std::span<const Flow> flows) const;
+  /// validate() over the active subset only (inactive slots may carry
+  /// stale paths by design; see solve_active).
+  void validate_active(std::span<const Flow> flows,
+                       std::span<const char> active) const;
 
   /// Max-min over a subset of flows (active[i] selects), writing rates.
   /// `record`, when non-null, captures the solve's convergence trace.

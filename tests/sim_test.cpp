@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "stats/rng.hpp"
 
@@ -210,6 +211,170 @@ TEST(FlowSim, CompletionScalesLinearlyWithBytes) {
   const auto db = sim.completion_times(big);
   for (std::size_t i = 0; i < ds.size(); ++i)
     EXPECT_NEAR(db[i], 4.0 * ds[i], 1e-12);
+}
+
+// --- FlowSim saturation-epsilon regressions -----------------------------------
+//
+// The progressive-filling saturation test is
+//   max(0, capacity - frozen_load) / unfrozen_count <= level * (1 + 1e-12)
+// The clamp plus relative slack must never freeze a flow at a negative
+// rate or leave a channel oversubscribed, even under adversarial
+// capacities (denormals, non-representable fractions, mixed magnitudes).
+// These cases are referenced from the epsilon comment in flowsim.cpp.
+
+/// Every invariant the epsilon analysis promises, checked in one place.
+void expect_fair_allocation(const Topology& topo, const FlowSim& sim,
+                            const std::vector<Flow>& flows,
+                            const std::vector<double>& rates,
+                            const std::vector<double>& cap_of_channel) {
+  ASSERT_EQ(rates.size(), flows.size());
+  std::vector<double> load(static_cast<std::size_t>(topo.num_channels()), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_GE(rates[f], 0.0) << "flow " << f << " frozen below zero";
+    EXPECT_TRUE(std::isfinite(rates[f]) || flows[f].channels.empty());
+    for (const ChannelId ch : flows[f].channels)
+      load[static_cast<std::size_t>(ch)] += rates[f];
+  }
+  for (ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
+    const double cap = cap_of_channel[static_cast<std::size_t>(ch)];
+    EXPECT_LE(load[static_cast<std::size_t>(ch)], cap * (1.0 + 1e-9))
+        << "channel " << ch << " oversubscribed";
+  }
+}
+
+TEST(FlowSim, SaturationEpsilonDenormalCapacityKeepsRatesNonNegative) {
+  // f2 shares channel A (terminal 0's up-link) with f1 but is throttled
+  // to a denormal level by the cable; the follow-up round then hands f1
+  // A's residual.  The denormal round must neither freeze anything
+  // negative nor starve the follow-up round.
+  const Dumbbell d(2);
+  LinkModel link;
+  link.bandwidth = 1.0;
+  FlowSim sim(d.topo, link);
+  sim.set_capacity(d.ab, 1e-300);
+  std::vector<double> caps(static_cast<std::size_t>(d.topo.num_channels()),
+                           1.0);
+  caps[static_cast<std::size_t>(d.ab)] = 1e-300;
+
+  std::vector<Flow> flows;
+  flows.push_back(Flow{{d.topo.terminal_up(0), d.topo.terminal_down(1)}, 1});
+  flows.push_back(Flow{{d.topo.terminal_up(0), d.ab,
+                        d.topo.terminal_down(2)}, 1});
+  const auto rates = sim.fair_rates(flows);
+  expect_fair_allocation(d.topo, sim, flows, rates, caps);
+  EXPECT_DOUBLE_EQ(rates[1], 1e-300);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);  // 1.0 - 1e-300 rounds to 1.0
+}
+
+TEST(FlowSim, SaturationEpsilonFullyFrozenLoadedChannel) {
+  // After round 1 freezes f1 and f2 at A's fair share, f3 fills B to its
+  // exact capacity: B ends the solve fully frozen-loaded.  The max(0, .)
+  // clamp is what keeps later level computations of such channels at zero
+  // instead of a negative capacity; no flow may freeze below zero.
+  const Dumbbell d(2);
+  LinkModel link;
+  link.bandwidth = 1.0;
+  FlowSim sim(d.topo, link);
+  // A = terminal 0's up-link (cap 1), B = the a->b cable (cap 1.5).
+  sim.set_capacity(d.ab, 1.5);
+  std::vector<double> caps(static_cast<std::size_t>(d.topo.num_channels()),
+                           1.0);
+  caps[static_cast<std::size_t>(d.ab)] = 1.5;
+
+  std::vector<Flow> flows;
+  flows.push_back(Flow{{d.topo.terminal_up(0), d.topo.terminal_down(1)}, 1});
+  flows.push_back(Flow{{d.topo.terminal_up(0), d.ab,
+                        d.topo.terminal_down(2)}, 1});
+  flows.push_back(Flow{{d.topo.terminal_up(1), d.ab,
+                        d.topo.terminal_down(3)}, 1});
+  const auto rates = sim.fair_rates(flows);
+  expect_fair_allocation(d.topo, sim, flows, rates, caps);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(rates[2], 1.0);  // own up-link caps the cable residual
+}
+
+TEST(FlowSim, SaturationEpsilonNonRepresentableSharesStayConsistent) {
+  // 0.3 / 3 and kin are not representable; repeated freeze rounds across
+  // channels of mixed magnitude accumulate ulp-level rounding in
+  // frozen_load.  The solve must terminate with non-negative rates and no
+  // channel oversubscribed beyond rounding slack.
+  const Dumbbell d(4);
+  LinkModel link;
+  link.bandwidth = 0.3;
+  FlowSim sim(d.topo, link);
+  sim.set_capacity(d.ab, 0.1);
+  std::vector<double> caps(static_cast<std::size_t>(d.topo.num_channels()),
+                           0.3);
+  caps[static_cast<std::size_t>(d.ab)] = 0.1;
+
+  std::vector<Flow> flows;
+  for (NodeId i = 0; i < 4; ++i) flows.push_back(d.flow(i, 4 + i, 1));
+  flows.push_back(Flow{{d.topo.terminal_up(0), d.topo.terminal_down(1)}, 1});
+  flows.push_back(Flow{{d.topo.terminal_up(0), d.topo.terminal_down(2)}, 1});
+  const auto rates = sim.fair_rates(flows);
+  expect_fair_allocation(d.topo, sim, flows, rates, caps);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(rates[i], 0.1 / 4.0);
+}
+
+// --- FlowSim::solve_active ----------------------------------------------------
+
+TEST(FlowSim, SolveActiveMatchesCompactedFairRates) {
+  const Dumbbell d(4);
+  const FlowSim sim(d.topo, LinkModel{});
+
+  std::vector<Flow> flows;
+  for (NodeId i = 0; i < 4; ++i) flows.push_back(d.flow(i, 4 + i, 1));
+  const std::vector<char> active{1, 0, 1, 0};
+
+  std::vector<double> rates(flows.size(), -7.0);  // sentinel
+  FlowSim::SolveScratch scratch;
+  sim.solve_active(flows, active, rates, scratch);
+
+  const std::vector<Flow> compact{flows[0], flows[2]};
+  const auto expect = sim.fair_rates(compact);
+  // Bit-identical to a fresh solve of the compacted set; inactive slots
+  // untouched.
+  EXPECT_EQ(rates[0], expect[0]);
+  EXPECT_EQ(rates[2], expect[1]);
+  EXPECT_EQ(rates[1], -7.0);
+  EXPECT_EQ(rates[3], -7.0);
+}
+
+TEST(FlowSim, SolveActiveIgnoresStalePathsInInactiveSlots) {
+  // The campaign parks lost pairs with their stale pre-fault paths still
+  // in the Flow slot; a disabled channel there must not trip validation.
+  Dumbbell d(2);
+  const FlowSim sim(d.topo, LinkModel{});
+  std::vector<Flow> flows;
+  flows.push_back(d.flow(0, 2, 1));
+  flows.push_back(d.flow(1, 3, 1));
+  d.topo.disable_link(d.ab);
+
+  std::vector<double> rates(flows.size(), 0.0);
+  FlowSim::SolveScratch scratch;
+  const std::vector<char> active{0, 0};
+  EXPECT_NO_THROW(sim.solve_active(flows, active, rates, scratch));
+  // An *active* stale path must still be rejected loudly.
+  const std::vector<char> both{1, 1};
+  EXPECT_THROW(sim.solve_active(flows, both, rates, scratch),
+               std::invalid_argument);
+  d.topo.enable_link(d.ab);
+}
+
+TEST(FlowSim, SolveActiveRejectsSizeMismatch) {
+  const Dumbbell d(2);
+  const FlowSim sim(d.topo, LinkModel{});
+  std::vector<Flow> flows{d.flow(0, 2, 1)};
+  std::vector<double> rates(2, 0.0);
+  FlowSim::SolveScratch scratch;
+  const std::vector<char> one{1};
+  const std::vector<char> two{1, 1};
+  EXPECT_THROW(sim.solve_active(flows, one, rates, scratch),
+               std::invalid_argument);
+  rates.resize(1);
+  EXPECT_THROW(sim.solve_active(flows, two, rates, scratch),
+               std::invalid_argument);
 }
 
 // --- PktSim --------------------------------------------------------------------
