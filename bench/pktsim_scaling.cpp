@@ -1,0 +1,225 @@
+// Packet-engine throughput bench: typed zero-allocation engine vs the seed
+// reference engine (single thread), plus replication scaling through
+// PktSim::run_batch at 1..8 threads.
+//
+//   ./pktsim_scaling [--quick] [--threads n] [--reps n] [--seed n]
+//
+// Check mode is built in: every typed-engine result is verified bitwise
+// against the reference engine, and every parallel batch against the
+// 1-thread batch; any mismatch exits non-zero, so CI runs this binary as
+// a correctness gate as well as a perf probe.  Results (events/sec,
+// ns/packet, old-vs-new speedup, replication speedups) are recorded in
+// BENCH_pktsim.json (committed, tracking the perf trajectory per PR).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/ftree.hpp"
+#include "sim/adaptive.hpp"
+#include "sim/pktsim.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/hyperx.hpp"
+#include "workloads/pkt_sweep.hpp"
+
+namespace {
+
+using namespace hxsim;
+
+/// Bitwise result equality (NaN-safe); the check-mode comparator.
+bool results_equal(const sim::PktSim::Result& a,
+                   const sim::PktSim::Result& b) {
+  if (a.completion.size() != b.completion.size()) return false;
+  if (!a.completion.empty() &&
+      std::memcmp(a.completion.data(), b.completion.data(),
+                  a.completion.size() * sizeof(double)) != 0)
+    return false;
+  return a.deadlock == b.deadlock && a.truncated == b.truncated &&
+         std::memcmp(&a.end_time, &b.end_time, sizeof(double)) == 0 &&
+         a.packets_delivered == b.packets_delivered &&
+         a.packets_total == b.packets_total &&
+         a.events_executed == b.events_executed;
+}
+
+struct EngineTiming {
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double ns_per_packet = 0.0;
+  sim::PktSim::Result result;
+};
+
+/// Times `reps` runs of `msgs` on one engine; the last result is kept for
+/// the identity check.  The typed engine runs warm (one simulator reused),
+/// exactly as the experiment drivers use it.
+EngineTiming time_engine(const topo::Topology& topo,
+                         const sim::PktSimConfig& base,
+                         sim::PktSimConfig::Engine engine,
+                         const std::vector<sim::PktMessage>& msgs,
+                         std::int32_t reps) {
+  sim::PktSimConfig cfg = base;
+  cfg.engine = engine;
+  sim::PktSim simulator(topo, cfg);
+  (void)simulator.run(msgs);  // warm-up: sizes scratch, touches pages
+  EngineTiming t;
+  bench::PhaseClock clock;
+  for (std::int32_t r = 0; r < reps; ++r) t.result = simulator.run(msgs);
+  t.seconds = clock.lap() / reps;
+  if (t.seconds > 0.0) {
+    t.events_per_sec =
+        static_cast<double>(t.result.events_executed) / t.seconds;
+    t.ns_per_packet = t.seconds * 1e9 /
+                      static_cast<double>(t.result.packets_delivered);
+  }
+  return t;
+}
+
+/// Old-vs-new single-thread comparison on one workload; exits non-zero on
+/// any result mismatch.
+void compare_engines(const char* phase, const topo::Topology& topo,
+                     const sim::PktSimConfig& cfg,
+                     const std::vector<sim::PktMessage>& msgs,
+                     std::int32_t reps, bench::BenchJson& json) {
+  const EngineTiming ref = time_engine(
+      topo, cfg, sim::PktSimConfig::Engine::kReference, msgs, reps);
+  const EngineTiming typed =
+      time_engine(topo, cfg, sim::PktSimConfig::Engine::kTyped, msgs, reps);
+  if (!results_equal(ref.result, typed.result)) {
+    std::fprintf(stderr, "%s: typed engine differs from reference!\n", phase);
+    std::exit(1);
+  }
+  if (ref.result.deadlock || ref.result.truncated) {
+    std::fprintf(stderr, "%s: workload did not run to completion\n", phase);
+    std::exit(1);
+  }
+  const double speedup =
+      typed.seconds > 0.0 ? ref.seconds / typed.seconds : 0.0;
+  std::printf(
+      "%-24s events=%-9lld old %8.2f Mev/s %7.1f ns/pkt | new %8.2f Mev/s "
+      "%7.1f ns/pkt | speedup %.2fx\n",
+      phase, static_cast<long long>(typed.result.events_executed),
+      ref.events_per_sec / 1e6, ref.ns_per_packet,
+      typed.events_per_sec / 1e6, typed.ns_per_packet, speedup);
+  json.add(phase, {{"events", static_cast<double>(
+                                  typed.result.events_executed)},
+                   {"old_events_per_sec", ref.events_per_sec},
+                   {"old_ns_per_packet", ref.ns_per_packet},
+                   {"new_events_per_sec", typed.events_per_sec},
+                   {"new_ns_per_packet", typed.ns_per_packet},
+                   {"speedup", speedup}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::int32_t reps = args.quick ? 2 : std::max(args.reps, 1);
+  bench::BenchJson json("pktsim");
+  json.add("machine", {{"hardware_threads",
+                        static_cast<double>(exec::hardware_threads())}});
+
+  // --- fabrics and routing arms -----------------------------------------
+  const topo::HyperX hx(args.quick ? topo::small_hyperx_params()
+                                   : topo::paper_hyperx_params());
+  const auto hx_lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  routing::DfssspEngine dfsssp(8);
+  const auto hx_route = dfsssp.compute(hx.topo(), hx_lids);
+  const sim::DalRouter dal(hx);
+
+  const topo::FatTree ft(args.quick ? topo::small_fat_tree_params()
+                                    : topo::paper_fat_tree_params());
+  const auto ft_lids =
+      routing::LidSpace::consecutive(ft.topo().num_terminals(), 0);
+  routing::FtreeEngine ftree(ft);
+  const auto ft_route = ftree.compute(ft.topo(), ft_lids);
+
+  const std::int64_t bytes = args.quick ? 16 * 1024 : 64 * 1024;
+  workloads::PktRoutingArm hx_static{"dfsssp", &hx_route, &hx_lids, nullptr};
+  workloads::PktRoutingArm hx_dal{"dal", nullptr, nullptr, &dal};
+  workloads::PktRoutingArm ft_static{"ftree", &ft_route, &ft_lids, nullptr};
+
+  workloads::PktPatternSpec shift;
+  shift.pattern = workloads::PktPattern::kShift;
+  shift.shift = 1;
+  shift.bytes = bytes;
+  workloads::PktPatternSpec uniform;
+  uniform.pattern = workloads::PktPattern::kUniformRandom;
+  uniform.messages = args.quick ? 128 : 512;
+  uniform.bytes = bytes;
+  workloads::PktPatternSpec hotspot;
+  hotspot.pattern = workloads::PktPattern::kHotspot;
+  hotspot.messages = args.quick ? 64 : 256;
+  hotspot.bytes = bytes;
+
+  // --- phase 1: old vs new, single thread -------------------------------
+  {
+    sim::PktSimConfig cfg;
+    compare_engines("hyperx_dfsssp_shift", hx.topo(), cfg,
+                    build_pkt_messages(hx.topo(), hx_static, shift, args.seed),
+                    reps, json);
+    compare_engines("ftree_shift", ft.topo(), cfg,
+                    build_pkt_messages(ft.topo(), ft_static, shift, args.seed),
+                    reps, json);
+    // Hotspot: every sender converges on one terminal, the congested
+    // regime (deep VL queues, credit back-pressure) the rewrite targets.
+    compare_engines("hyperx_dfsssp_hotspot", hx.topo(), cfg,
+                    build_pkt_messages(hx.topo(), hx_static, hotspot,
+                                       args.seed),
+                    reps, json);
+    cfg.adaptive = &dal;
+    compare_engines("hyperx_dal_uniform", hx.topo(), cfg,
+                    build_pkt_messages(hx.topo(), hx_dal, uniform, args.seed),
+                    reps, json);
+  }
+
+  // --- phase 2: replication scaling through run_batch -------------------
+  {
+    sim::PktSimConfig cfg;
+    cfg.adaptive = &dal;
+    std::vector<std::vector<sim::PktMessage>> reps_sets;
+    const std::int32_t replications = args.quick ? 8 : 16;
+    for (std::int32_t s = 1; s <= replications; ++s)
+      reps_sets.push_back(build_pkt_messages(
+          hx.topo(), hx_dal, uniform, static_cast<std::uint64_t>(s)));
+
+    const std::int32_t max_threads = std::min<std::int32_t>(
+        8, args.threads > 0 ? args.threads : exec::hardware_threads());
+    std::vector<sim::PktSim::Result> reference;
+    double base_seconds = 0.0;
+    for (std::int32_t t = 1; t <= max_threads; t *= 2) {
+      sim::PktSim simulator(hx.topo(), cfg);
+      bench::PhaseClock clock;
+      auto batch = simulator.run_batch(reps_sets, t);
+      const double seconds = clock.lap();
+      if (t == 1) {
+        base_seconds = seconds;
+        reference = std::move(batch);
+      } else {
+        for (std::size_t i = 0; i < reference.size(); ++i)
+          if (!results_equal(reference[i], batch[i])) {
+            std::fprintf(stderr,
+                         "run_batch: %d-thread replication %zu differs from "
+                         "1-thread!\n",
+                         t, i);
+            std::exit(1);
+          }
+      }
+      const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+      std::printf("run_batch_dal_uniform    threads=%-2d  %8.1f ms  speedup "
+                  "%.2fx\n",
+                  t, seconds * 1e3, speedup);
+      json.add("run_batch_dal_uniform",
+               {{"threads", static_cast<double>(t)},
+                {"replications", static_cast<double>(replications)},
+                {"seconds", seconds},
+                {"speedup", speedup}});
+    }
+  }
+
+  json.write(".");
+  std::printf("OK: typed engine bit-identical to reference on all phases\n");
+  return 0;
+}

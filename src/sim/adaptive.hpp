@@ -69,6 +69,13 @@ class AdaptiveRouter {
 
   /// Upper bound on hops (for VL escalation); must be <= available VLs.
   [[nodiscard]] virtual std::int32_t max_hops() const = 0;
+
+  /// True when candidates()/on_hop() leave the router itself unchanged, so
+  /// many engine instances may drive one router concurrently and replication
+  /// results are independent of execution order.  PktSim::run_batch and the
+  /// workloads packet sweep require this.  Routers with mutable internal
+  /// state (ValiantRouter's intermediate-draw RNG) must return false.
+  [[nodiscard]] virtual bool replicable() const noexcept { return true; }
 };
 
 /// DAL (Dimensionally-Adaptive, Load-balanced) for an n-D HyperX.
@@ -117,6 +124,9 @@ class ValiantRouter final : public AdaptiveRouter {
   void on_hop(const RouteCandidate& chosen,
               AdaptiveState& state) const override;
   [[nodiscard]] std::int32_t max_hops() const override;
+  /// The shared RNG advances on every first-hop candidates() call, so
+  /// concurrent replications would race (and reorder draws even serially).
+  [[nodiscard]] bool replicable() const noexcept override { return false; }
 
  private:
   /// Minimal candidates from `sw` toward `target` (per unaligned dim).

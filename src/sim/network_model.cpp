@@ -23,15 +23,14 @@ std::vector<double> FlowModel::run(std::span<const NetMessage> messages) {
 }
 
 PacketModel::PacketModel(const topo::Topology& topo, PktSimConfig config)
-    : topo_(&topo), config_(config) {}
+    : topo_(&topo), config_(config), sim_(topo, config) {}
 
 std::vector<double> PacketModel::run(std::span<const NetMessage> messages) {
-  std::vector<PktMessage> pkts;
-  pkts.reserve(messages.size());
+  pkts_.clear();
+  pkts_.reserve(messages.size());
   for (const NetMessage& m : messages)
-    pkts.push_back(PktMessage{m.src, m.dst, m.bytes, m.path, m.vl, 0.0});
-  PktSim sim(*topo_, config_);
-  PktSim::Result result = sim.run(pkts);
+    pkts_.push_back(PktMessage{m.src, m.dst, m.bytes, m.path, m.vl, 0.0});
+  PktSim::Result result = sim_.run(pkts_);
   if (result.deadlock)
     throw std::runtime_error("PacketModel: routing deadlock detected\n" +
                              result.deadlock_report.to_string(topo_));

@@ -73,6 +73,11 @@ class PacketModel final : public NetworkModel {
  private:
   const topo::Topology* topo_;
   PktSimConfig config_;
+  /// Warm engine: scratch (event heap, pool, channel arrays) persists
+  /// across transport rounds, so repeated run() calls are allocation-free
+  /// in the engine steady state.
+  PktSim sim_;
+  std::vector<PktMessage> pkts_;  // per-round message buffer, reused
 };
 
 }  // namespace hxsim::sim

@@ -1,16 +1,137 @@
 #include "sim/pktsim.hpp"
 
+#include <bit>
 #include <cmath>
 #include <deque>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "exec/exec.hpp"
+
 namespace hxsim::sim {
+
+namespace detail {
+
+/// Typed POD event record.  `a` is the message index for kInject and the
+/// channel for kXmitDone/kArrive; `b` is the packet-pool index for kArrive.
+/// kind and a share one word (kind in the low 2 bits) so a full heap entry
+/// {when, seq, Ev} packs into 24 bytes -- the heap shuffles entries on
+/// every sift, so entry size is directly memory traffic.
+enum class EvKind : std::int8_t { kInject, kXmitDone, kArrive };
+struct Ev {
+  std::uint32_t kind_a;  // a << 2 | kind
+  std::int32_t b;
+
+  static Ev make(EvKind kind, std::int32_t a, std::int32_t b) noexcept {
+    return Ev{(static_cast<std::uint32_t>(a) << 2) |
+                  static_cast<std::uint32_t>(kind),
+              b};
+  }
+  [[nodiscard]] EvKind kind() const noexcept {
+    return static_cast<EvKind>(kind_a & 3u);
+  }
+  [[nodiscard]] std::int32_t a() const noexcept {
+    return static_cast<std::int32_t>(kind_a >> 2);
+  }
+};
+
+/// One pooled packet.  `next` threads the intrusive per-channel x VL FIFO
+/// the packet currently waits in (-1: tail / not queued).
+struct PktNode {
+  std::int32_t msg;
+  std::int32_t size;  // bytes in this segment
+  std::int32_t hop;   // index into the message path (static routing)
+  std::int32_t next;
+  topo::ChannelId held;  // channel whose downstream buffer the packet holds
+  std::int8_t held_vl;
+  std::int8_t vl;
+  bool adaptive;
+  AdaptiveState astate;
+};
+
+/// One VL's intrusive FIFO: head/tail pool indices (-1: empty) plus the
+/// depth.  The three fields are always touched together, so they share a
+/// record (one cache line per queue op) instead of three parallel arrays.
+struct VlFifo {
+  std::int32_t head;
+  std::int32_t tail;
+  std::int32_t len;
+};
+
+/// Engine scratch, reused across runs: the event heap and every flat array
+/// keep their capacity, so a warm run() allocates nothing per event (and
+/// only the returned Result per run).  Channel state is split SoA-style:
+/// per-channel arrays (busy/rr/q_mask) and per-channel x VL arrays
+/// (credits, FIFOs) are contiguous, so try_start/arrive touch a handful of
+/// cache lines instead of a vector-of-deques forest.
+struct PktScratch {
+  FlatEventHeap<Ev> events;
+  std::vector<PktNode> pool;  // pre-sized: segments are countable up front
+
+  // Per channel.
+  std::vector<std::uint8_t> busy;
+  std::vector<std::int8_t> busy_vl;  // VL of the in-flight packet
+  std::vector<std::int32_t> rr_next;  // VL arbitration pointer
+  std::vector<std::uint8_t> down_switch;
+  /// Bit vl set: that VL's FIFO is non-empty.  try_start's round-robin
+  /// scan walks only set bits, so an idle channel costs one load.
+  std::vector<std::uint16_t> q_mask;
+
+  // Per channel x VL, flat index ch * num_vls + vl.
+  std::vector<std::int32_t> credits;
+  std::vector<VlFifo> fifo;
+
+  std::vector<std::int64_t> remaining;  // per message: undelivered segments
+  std::vector<RouteCandidate> candidates;  // adaptive scratch
+};
+
+}  // namespace detail
 
 namespace {
 
-struct Packet {
+using detail::Ev;
+using detail::EvKind;
+using detail::PktNode;
+using detail::PktScratch;
+using detail::VlFifo;
+
+[[noreturn]] void fail(std::size_t m, const char* why) {
+  throw std::invalid_argument("PktSim: message " + std::to_string(m) + ": " +
+                              why);
+}
+
+/// Static paths are walked blindly by arrive() (`++p.hop`), so anything
+/// not ending in the destination's switch->terminal channel used to
+/// index past the end of the path.  Reject malformed paths up front.
+/// Shared verbatim by both engines so they throw identically.
+void validate_path(const topo::Topology& topo, std::size_t m,
+                   const PktMessage& msg) {
+  for (const topo::ChannelId ch : msg.path)
+    if (ch < 0 || ch >= topo.num_channels())
+      fail(m, "path channel id out of range");
+  if (msg.path.front() != topo.terminal_up(msg.src))
+    fail(m, "path must start with the source terminal's up channel");
+  for (std::size_t i = 0; i + 1 < msg.path.size(); ++i) {
+    const topo::Channel& c = topo.channel(msg.path[i]);
+    if (!c.dst.is_switch())
+      fail(m, "path reaches a terminal before its final channel");
+    if (topo.channel(msg.path[i + 1]).src != c.dst)
+      fail(m, "path is disconnected (consecutive channels do not meet)");
+  }
+  if (msg.path.back() != topo.terminal_down(msg.dst))
+    fail(m, "path must end with the destination terminal's down channel");
+}
+
+// ---------------------------------------------------------------------------
+// ReferenceEngine: the seed implementation, preserved for golden
+// bit-identity testing and old-vs-new benchmarking.  Type-erased callbacks
+// on a binary heap, per-VL std::deques, one heap-allocated Packet record
+// per segment.  Behaviour is frozen; only the config copy was replaced by
+// a reference (the config outlives the engine in every call path).
+// ---------------------------------------------------------------------------
+
+struct RefPacket {
   std::int32_t msg = -1;
   std::int32_t size = 0;  // bytes in this segment
   std::int32_t hop = 0;   // index into the message path (static routing)
@@ -23,7 +144,7 @@ struct Packet {
   AdaptiveState astate;
 };
 
-struct ChannelState {
+struct RefChannelState {
   bool busy = false;
   std::int8_t busy_vl = 0;                      // VL of the in-flight packet
   std::int32_t rr_next = 0;                     // VL arbitration pointer
@@ -32,9 +153,7 @@ struct ChannelState {
   bool downstream_is_switch = false;
 
   /// Congestion score of one VL: its waiting queue plus the in-flight
-  /// packet *iff* that packet is serialising on this VL.  Charging `busy`
-  /// to every VL (the old behaviour) double-penalised channels in
-  /// choose_adaptive regardless of which lane actually held the wire.
+  /// packet *iff* that packet is serialising on this VL.
   [[nodiscard]] std::int32_t occupancy(std::int8_t vl) const {
     return static_cast<std::int32_t>(queue[static_cast<std::size_t>(vl)]
                                          .size()) +
@@ -42,15 +161,14 @@ struct ChannelState {
   }
 };
 
-class Engine {
+class ReferenceEngine {
  public:
-  Engine(const topo::Topology& topo, const PktSimConfig& config,
-         std::span<const PktMessage> messages)
-      : topo_(topo), config_(config), messages_(messages),
-        trace_(config.trace) {
+  ReferenceEngine(const topo::Topology& topo, const PktSimConfig& config,
+                  obs::PktTrace* trace, std::span<const PktMessage> messages)
+      : topo_(topo), config_(config), messages_(messages), trace_(trace) {
     channels_.resize(static_cast<std::size_t>(topo.num_channels()));
     for (topo::ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
-      ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+      RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
       st.queue.resize(static_cast<std::size_t>(config.num_vls));
       st.downstream_is_switch = topo.channel(ch).dst.is_switch();
       st.credits.assign(static_cast<std::size_t>(config.num_vls),
@@ -79,7 +197,7 @@ class Engine {
         result_.completion[m] = msg.inject_time;  // self-send
         continue;
       }
-      if (!msg.path.empty()) validate_path(m, msg);
+      if (!msg.path.empty()) validate_path(topo_, m, msg);
       const std::int64_t segments =
           std::max<std::int64_t>(1, (msg.bytes + config.link.mtu - 1) /
                                         config.link.mtu);
@@ -90,7 +208,8 @@ class Engine {
   }
 
   PktSim::Result run(std::size_t max_events) {
-    events_.run(max_events);
+    result_.events_executed =
+        static_cast<std::int64_t>(events_.run(max_events));
     result_.end_time = events_.now();
     // Pending events mean the run was truncated by max_events -- progress
     // was still possible, so it is NOT a deadlock; a drained queue with
@@ -102,7 +221,7 @@ class Engine {
     if (trace_ != nullptr) {
       trace_->finalize(result_.end_time);
       for (topo::ChannelId ch = 0; ch < topo_.num_channels(); ++ch) {
-        const ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+        const RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
         if (!st.downstream_is_switch) continue;
         for (std::int8_t vl = 0; vl < config_.num_vls; ++vl)
           trace_->set_final_credits(ch, vl,
@@ -113,36 +232,11 @@ class Engine {
   }
 
  private:
-  [[noreturn]] static void fail(std::size_t m, const char* why) {
-    throw std::invalid_argument("PktSim: message " + std::to_string(m) + ": " +
-                                why);
-  }
-
-  /// Static paths are walked blindly by arrive() (`++p.hop`), so anything
-  /// not ending in the destination's switch->terminal channel used to
-  /// index past the end of the path.  Reject malformed paths up front.
-  void validate_path(std::size_t m, const PktMessage& msg) const {
-    for (const topo::ChannelId ch : msg.path)
-      if (ch < 0 || ch >= topo_.num_channels())
-        fail(m, "path channel id out of range");
-    if (msg.path.front() != topo_.terminal_up(msg.src))
-      fail(m, "path must start with the source terminal's up channel");
-    for (std::size_t i = 0; i + 1 < msg.path.size(); ++i) {
-      const topo::Channel& c = topo_.channel(msg.path[i]);
-      if (!c.dst.is_switch())
-        fail(m, "path reaches a terminal before its final channel");
-      if (topo_.channel(msg.path[i + 1]).src != c.dst)
-        fail(m, "path is disconnected (consecutive channels do not meet)");
-    }
-    if (msg.path.back() != topo_.terminal_down(msg.dst))
-      fail(m, "path must end with the destination terminal's down channel");
-  }
-
   /// Re-derives the credit-stall state of (ch, vl) after any queue or
   /// credit mutation; no-op unless tracing.
   void sync_stall(topo::ChannelId ch, std::int8_t vl) {
     if (trace_ == nullptr) return;
-    const ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+    const RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
     const bool blocked =
         st.downstream_is_switch &&
         st.credits[static_cast<std::size_t>(vl)] <= 0 &&
@@ -156,11 +250,11 @@ class Engine {
   obs::DeadlockReport post_mortem() const {
     std::vector<obs::CreditWaitEdge> blocked;
     for (topo::ChannelId ch = 0; ch < topo_.num_channels(); ++ch) {
-      const ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+      const RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
       for (std::int8_t vl = 0; vl < config_.num_vls; ++vl) {
         for (const std::int32_t pkt :
              st.queue[static_cast<std::size_t>(vl)]) {
-          const Packet& p = packets_[static_cast<std::size_t>(pkt)];
+          const RefPacket& p = packets_[static_cast<std::size_t>(pkt)];
           blocked.push_back(obs::CreditWaitEdge{pkt, p.msg, p.held, p.held_vl,
                                                 ch, vl});
         }
@@ -180,7 +274,7 @@ class Engine {
           std::min<std::int64_t>(left, config_.link.mtu));
       left -= seg;
       const auto pkt = static_cast<std::int32_t>(packets_.size());
-      Packet p;
+      RefPacket p;
       p.msg = static_cast<std::int32_t>(m);
       p.size = seg;
       p.vl = adaptive ? 0 : msg.vl;
@@ -206,7 +300,7 @@ class Engine {
 
   /// Round-robin arbitration: start the next eligible packet on `ch`.
   void try_start(topo::ChannelId ch) {
-    ChannelState& st = channels_[static_cast<std::size_t>(ch)];
+    RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
     if (st.busy) return;
     const std::int32_t vls = config_.num_vls;
     for (std::int32_t i = 0; i < vls; ++i) {
@@ -232,8 +326,8 @@ class Engine {
   }
 
   void start_crossing(topo::ChannelId ch, std::int32_t pkt) {
-    ChannelState& st = channels_[static_cast<std::size_t>(ch)];
-    Packet& p = packets_[static_cast<std::size_t>(pkt)];
+    RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
+    RefPacket& p = packets_[static_cast<std::size_t>(pkt)];
 
     if (st.downstream_is_switch) {
       --st.credits[static_cast<std::size_t>(p.vl)];
@@ -244,7 +338,7 @@ class Engine {
     // Starting to cross vacates the upstream input buffer: return the
     // held credit and wake that channel's arbiter.
     if (p.held != topo::kInvalidChannel) {
-      ChannelState& hst = channels_[static_cast<std::size_t>(p.held)];
+      RefChannelState& hst = channels_[static_cast<std::size_t>(p.held)];
       if (hst.downstream_is_switch) {
         ++hst.credits[static_cast<std::size_t>(p.held_vl)];
         sync_stall(p.held, p.held_vl);
@@ -269,7 +363,7 @@ class Engine {
   /// output occupancy on the packet's next VL, plus the deroute penalty
   /// for non-minimal hops, plus a large penalty when no credit is
   /// immediately available.
-  topo::ChannelId choose_adaptive(topo::SwitchId sw, Packet& p) {
+  topo::ChannelId choose_adaptive(topo::SwitchId sw, RefPacket& p) {
     const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
     scratch_candidates_.clear();
     config_.adaptive->candidates(sw, msg.dst, p.astate, scratch_candidates_);
@@ -281,7 +375,7 @@ class Engine {
     const RouteCandidate* best = nullptr;
     std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
     for (const RouteCandidate& cand : scratch_candidates_) {
-      const ChannelState& st =
+      const RefChannelState& st =
           channels_[static_cast<std::size_t>(cand.channel)];
       std::int64_t score = st.occupancy(vl);
       if (!cand.minimal) score += config_.deroute_penalty;
@@ -300,7 +394,7 @@ class Engine {
   }
 
   void arrive(topo::ChannelId ch, std::int32_t pkt) {
-    Packet& p = packets_[static_cast<std::size_t>(pkt)];
+    RefPacket& p = packets_[static_cast<std::size_t>(pkt)];
     const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
     const topo::Channel& c = topo_.channel(ch);
 
@@ -329,21 +423,371 @@ class Engine {
   }
 
   const topo::Topology& topo_;
-  PktSimConfig config_;
+  const PktSimConfig& config_;
   std::span<const PktMessage> messages_;
   EventQueue events_;
-  std::vector<Packet> packets_;
-  std::vector<ChannelState> channels_;
+  std::vector<RefPacket> packets_;
+  std::vector<RefChannelState> channels_;
   std::vector<std::int64_t> remaining_packets_;
   std::vector<RouteCandidate> scratch_candidates_;
   obs::PktTrace* trace_ = nullptr;  // nullptr: tracing off (the default)
   PktSim::Result result_;
 };
 
+// ---------------------------------------------------------------------------
+// TypedEngine: the allocation-free data-oriented engine.  Control flow is a
+// line-for-line mirror of ReferenceEngine -- same handler structure, same
+// scheduling order inside every handler, same tie-breaks -- so the strict
+// (when, seq) event order, and therefore every result bit, is identical.
+// What changed is purely representational: POD events dispatched by a
+// switch, an intrusive FIFO per channel x VL threaded through the pre-sized
+// packet pool, and flat SoA channel arrays.
+// ---------------------------------------------------------------------------
+
+class TypedEngine {
+ public:
+  TypedEngine(const topo::Topology& topo, const PktSimConfig& config,
+              obs::PktTrace* trace, std::span<const PktMessage> messages,
+              PktScratch& s)
+      : topo_(topo), config_(config), messages_(messages), s_(s),
+        trace_(trace), num_vls_(config.num_vls) {
+    const auto nch = static_cast<std::size_t>(topo.num_channels());
+    const std::size_t nchvl = nch * static_cast<std::size_t>(num_vls_);
+    s_.events.reset();
+    s_.busy.assign(nch, 0);
+    s_.busy_vl.assign(nch, 0);
+    s_.rr_next.assign(nch, 0);
+    s_.down_switch.resize(nch);
+    s_.credits.resize(nchvl);
+    for (topo::ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
+      const bool down_switch = topo.channel(ch).dst.is_switch();
+      s_.down_switch[static_cast<std::size_t>(ch)] = down_switch ? 1 : 0;
+      const std::int32_t credit = down_switch ? config.vc_buffer_packets : 0;
+      for (std::int32_t vl = 0; vl < num_vls_; ++vl)
+        s_.credits[static_cast<std::size_t>(ch) *
+                       static_cast<std::size_t>(num_vls_) +
+                   static_cast<std::size_t>(vl)] = credit;
+    }
+    s_.q_mask.assign(nch, 0);
+    s_.fifo.assign(nchvl, VlFifo{-1, -1, 0});
+    if (trace_ != nullptr)
+      trace_->reset(topo.num_channels(), config.num_vls);
+
+    result_.completion.assign(messages.size(),
+                              std::numeric_limits<double>::quiet_NaN());
+    s_.remaining.assign(messages.size(), 0);
+
+    std::int64_t total_segments = 0;
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      const PktMessage& msg = messages[m];
+      if (msg.vl < 0 || msg.vl >= config.num_vls)
+        throw std::invalid_argument("PktSim: message VL out of range");
+      if (msg.src < 0 || msg.src >= topo.num_terminals() || msg.dst < 0 ||
+          msg.dst >= topo.num_terminals())
+        fail(m, "src/dst is not a terminal of this topology");
+      const bool adaptive = msg.path.empty() && msg.src != msg.dst;
+      if (adaptive && config_.adaptive == nullptr)
+        throw std::invalid_argument(
+            "PktSim: path-less message without an adaptive router");
+      if (msg.path.empty() && msg.src == msg.dst) {
+        result_.completion[m] = msg.inject_time;  // self-send
+        continue;
+      }
+      if (!msg.path.empty()) validate_path(topo_, m, msg);
+      const std::int64_t segments =
+          std::max<std::int64_t>(1, (msg.bytes + config.link.mtu - 1) /
+                                        config.link.mtu);
+      s_.remaining[m] = segments;
+      result_.packets_total += segments;
+      total_segments += segments;
+      s_.events.schedule(
+          msg.inject_time,
+          Ev::make(EvKind::kInject, static_cast<std::int32_t>(m), -1));
+    }
+    // Segments are countable up front, so the pool is sized exactly once;
+    // nodes are fully initialised at inject time.
+    s_.pool.resize(static_cast<std::size_t>(total_segments));
+    pool_used_ = 0;
+    // Reserve-ahead for the event heap: pending events are bounded by the
+    // not-yet-injected messages plus the in-flight window of every channel
+    // (one xmit-done and a short arrival pipeline each).  The bound is
+    // heuristic -- the heap grows amortised if exceeded -- but a warm
+    // scratch keeps whatever capacity the workload actually needed.
+    s_.events.reserve(messages.size() + 4 * nch + 64);
+  }
+
+  PktSim::Result run(std::size_t max_events) {
+    std::size_t executed = 0;
+    while (executed < max_events && !s_.events.empty()) {
+      const Ev ev = s_.events.pop();
+      const std::int32_t a = ev.a();
+      switch (ev.kind()) {
+        case EvKind::kInject:
+          inject(static_cast<std::size_t>(a));
+          break;
+        case EvKind::kXmitDone:
+          s_.busy[static_cast<std::size_t>(a)] = 0;
+          try_start(a);
+          break;
+        case EvKind::kArrive:
+          arrive(a, ev.b);
+          break;
+      }
+      ++executed;
+    }
+    result_.events_executed = static_cast<std::int64_t>(executed);
+    result_.end_time = s_.events.now();
+    result_.truncated = !s_.events.empty();
+    result_.deadlock =
+        s_.events.empty() && result_.packets_delivered < result_.packets_total;
+    if (result_.deadlock) result_.deadlock_report = post_mortem();
+    if (trace_ != nullptr) {
+      trace_->finalize(result_.end_time);
+      for (topo::ChannelId ch = 0; ch < topo_.num_channels(); ++ch) {
+        if (!s_.down_switch[static_cast<std::size_t>(ch)]) continue;
+        for (std::int8_t vl = 0; vl < config_.num_vls; ++vl)
+          trace_->set_final_credits(ch, vl, s_.credits[idx(ch, vl)]);
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(topo::ChannelId ch,
+                                std::int32_t vl) const noexcept {
+    return static_cast<std::size_t>(ch) * static_cast<std::size_t>(num_vls_) +
+           static_cast<std::size_t>(vl);
+  }
+
+  void sync_stall(topo::ChannelId ch, std::int8_t vl) {
+    if (trace_ == nullptr) return;
+    const std::size_t i = idx(ch, vl);
+    const bool blocked = s_.down_switch[static_cast<std::size_t>(ch)] != 0 &&
+                         s_.credits[i] <= 0 && s_.fifo[i].len > 0;
+    trace_->on_blocked(ch, vl, blocked, s_.events.now());
+  }
+
+  obs::DeadlockReport post_mortem() const {
+    std::vector<obs::CreditWaitEdge> blocked;
+    for (topo::ChannelId ch = 0; ch < topo_.num_channels(); ++ch) {
+      for (std::int8_t vl = 0; vl < config_.num_vls; ++vl) {
+        for (std::int32_t pkt = s_.fifo[idx(ch, vl)].head; pkt >= 0;
+             pkt = s_.pool[static_cast<std::size_t>(pkt)].next) {
+          const PktNode& p = s_.pool[static_cast<std::size_t>(pkt)];
+          blocked.push_back(obs::CreditWaitEdge{pkt, p.msg, p.held, p.held_vl,
+                                                ch, vl});
+        }
+      }
+    }
+    return obs::build_deadlock_report(std::move(blocked), config_.num_vls);
+  }
+
+  void inject(std::size_t m) {
+    const PktMessage& msg = messages_[m];
+    const bool adaptive = msg.path.empty();
+    const topo::ChannelId first =
+        adaptive ? topo_.terminal_up(msg.src) : msg.path[0];
+    std::int64_t left = std::max<std::int64_t>(msg.bytes, 1);
+    while (left > 0) {
+      const auto seg = static_cast<std::int32_t>(
+          std::min<std::int64_t>(left, config_.link.mtu));
+      left -= seg;
+      const std::int32_t pkt = pool_used_++;
+      PktNode& p = s_.pool[static_cast<std::size_t>(pkt)];
+      p.msg = static_cast<std::int32_t>(m);
+      p.size = seg;
+      p.hop = 0;
+      p.next = -1;
+      p.held = topo::kInvalidChannel;
+      p.held_vl = 0;
+      p.vl = adaptive ? 0 : msg.vl;
+      p.adaptive = adaptive;
+      p.astate = AdaptiveState{};
+      enqueue(first, pkt);
+    }
+    try_start(first);
+  }
+
+  void enqueue(topo::ChannelId ch, std::int32_t pkt) {
+    PktNode& p = s_.pool[static_cast<std::size_t>(pkt)];
+    const std::int8_t vl = p.vl;
+    VlFifo& f = s_.fifo[idx(ch, vl)];
+    p.next = -1;
+    if (f.tail < 0) {
+      f.head = pkt;
+      s_.q_mask[static_cast<std::size_t>(ch)] |=
+          static_cast<std::uint16_t>(1u << vl);
+    } else {
+      s_.pool[static_cast<std::size_t>(f.tail)].next = pkt;
+    }
+    f.tail = pkt;
+    const std::int32_t depth = ++f.len;
+    if (trace_ != nullptr) {
+      trace_->on_queue_depth(ch, vl, depth, s_.events.now());
+      sync_stall(ch, vl);
+    }
+  }
+
+  /// Round-robin arbitration: start the next eligible packet on `ch`.
+  /// The scan visits only non-empty VLs (q_mask rotated to rr order), so
+  /// the overwhelmingly common cases -- channel busy, channel idle with
+  /// nothing queued -- cost a load or two, and a loaded channel pays one
+  /// iteration per *queued* VL instead of num_vls.  Identical visit order
+  /// to the reference scan: empty VLs have no observable effect there.
+  void try_start(topo::ChannelId ch) {
+    if (s_.busy[static_cast<std::size_t>(ch)]) return;
+    const std::uint32_t mask = s_.q_mask[static_cast<std::size_t>(ch)];
+    if (mask == 0) return;
+    const std::int32_t vls = num_vls_;
+    const std::int32_t rr = s_.rr_next[static_cast<std::size_t>(ch)];
+    const std::size_t base =
+        static_cast<std::size_t>(ch) * static_cast<std::size_t>(vls);
+    const bool down_switch = s_.down_switch[static_cast<std::size_t>(ch)] != 0;
+    // Rotate the mask so bit 0 is VL rr; countr_zero then yields VLs in
+    // round-robin order.
+    std::uint32_t rot =
+        ((mask >> rr) | (mask << (vls - rr))) & ((1u << vls) - 1u);
+    while (rot != 0) {
+      std::int32_t vl = rr + std::countr_zero(rot);
+      if (vl >= vls) vl -= vls;
+      const std::size_t qi = base + static_cast<std::size_t>(vl);
+      if (down_switch && s_.credits[qi] <= 0) {
+        if (trace_ != nullptr)
+          trace_->on_arb_skip(ch, static_cast<std::int8_t>(vl));
+        rot &= rot - 1;  // head blocked on credits; try the next queued VL
+        continue;
+      }
+      VlFifo& f = s_.fifo[qi];
+      const std::int32_t pkt = f.head;
+      f.head = s_.pool[static_cast<std::size_t>(pkt)].next;
+      if (f.head < 0) {
+        f.tail = -1;
+        s_.q_mask[static_cast<std::size_t>(ch)] &=
+            static_cast<std::uint16_t>(~(1u << vl));
+      }
+      const std::int32_t depth = --f.len;
+      if (trace_ != nullptr)
+        trace_->on_queue_depth(ch, static_cast<std::int8_t>(vl), depth,
+                               s_.events.now());
+      std::int32_t next_rr = vl + 1;
+      if (next_rr == vls) next_rr = 0;
+      s_.rr_next[static_cast<std::size_t>(ch)] = next_rr;
+      start_crossing(ch, pkt);
+      return;
+    }
+  }
+
+  void start_crossing(topo::ChannelId ch, std::int32_t pkt) {
+    PktNode& p = s_.pool[static_cast<std::size_t>(pkt)];
+
+    if (s_.down_switch[static_cast<std::size_t>(ch)]) {
+      --s_.credits[idx(ch, p.vl)];
+      sync_stall(ch, p.vl);
+    }
+    if (trace_ != nullptr) trace_->on_cross(ch, p.vl, p.size);
+
+    // Starting to cross vacates the upstream input buffer: return the
+    // held credit and wake that channel's arbiter.
+    if (p.held != topo::kInvalidChannel) {
+      if (s_.down_switch[static_cast<std::size_t>(p.held)]) {
+        ++s_.credits[idx(p.held, p.held_vl)];
+        sync_stall(p.held, p.held_vl);
+        try_start(p.held);
+      }
+    }
+    p.held = ch;
+    p.held_vl = p.vl;
+
+    s_.busy[static_cast<std::size_t>(ch)] = 1;
+    s_.busy_vl[static_cast<std::size_t>(ch)] = p.vl;
+    const double ser = serialization_time(config_.link, p.size);
+    s_.events.schedule_in(ser, Ev::make(EvKind::kXmitDone, ch, -1));
+    s_.events.schedule_in(ser + config_.link.hop_latency,
+                          Ev::make(EvKind::kArrive, ch, pkt));
+  }
+
+  /// Picks the adaptive candidate with the lowest congestion score; ties
+  /// fall to the lowest channel id, independent of candidate order (the
+  /// determinism contract tested across permuted candidate lists).
+  topo::ChannelId choose_adaptive(topo::SwitchId sw, PktNode& p) {
+    const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
+    s_.candidates.clear();
+    config_.adaptive->candidates(sw, msg.dst, p.astate, s_.candidates);
+    if (s_.candidates.empty())
+      throw std::runtime_error("PktSim: adaptive router returned no route");
+
+    const auto vl = static_cast<std::int8_t>(std::min<std::int32_t>(
+        p.astate.hops_taken, config_.num_vls - 1));
+    const RouteCandidate* best = nullptr;
+    std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
+    for (const RouteCandidate& cand : s_.candidates) {
+      const std::size_t ci = idx(cand.channel, vl);
+      std::int64_t score =
+          s_.fifo[ci].len +
+          ((s_.busy[static_cast<std::size_t>(cand.channel)] &&
+            s_.busy_vl[static_cast<std::size_t>(cand.channel)] == vl)
+               ? 1
+               : 0);
+      if (!cand.minimal) score += config_.deroute_penalty;
+      if (s_.down_switch[static_cast<std::size_t>(cand.channel)] &&
+          s_.credits[ci] <= 0)
+        score += 1000;
+      if (score < best_score ||
+          (score == best_score && best && cand.channel < best->channel)) {
+        best_score = score;
+        best = &cand;
+      }
+    }
+    p.vl = vl;
+    config_.adaptive->on_hop(*best, p.astate);
+    return best->channel;
+  }
+
+  void arrive(topo::ChannelId ch, std::int32_t pkt) {
+    PktNode& p = s_.pool[static_cast<std::size_t>(pkt)];
+    const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
+    const topo::Channel& c = topo_.channel(ch);
+
+    if (c.dst.is_terminal()) {
+      ++result_.packets_delivered;
+      auto& left = s_.remaining[static_cast<std::size_t>(p.msg)];
+      if (--left == 0)
+        result_.completion[static_cast<std::size_t>(p.msg)] =
+            s_.events.now();
+      return;
+    }
+
+    const topo::SwitchId sw = c.dst.index;
+    topo::ChannelId next;
+    if (p.adaptive) {
+      if (sw == topo_.attach_switch(msg.dst)) {
+        next = topo_.terminal_down(msg.dst);
+      } else {
+        next = choose_adaptive(sw, p);
+      }
+    } else {
+      ++p.hop;
+      next = msg.path[static_cast<std::size_t>(p.hop)];
+    }
+    enqueue(next, pkt);
+    try_start(next);
+  }
+
+  const topo::Topology& topo_;
+  const PktSimConfig& config_;
+  std::span<const PktMessage> messages_;
+  PktScratch& s_;
+  obs::PktTrace* trace_ = nullptr;
+  std::int32_t num_vls_;
+  std::int32_t pool_used_ = 0;
+  PktSim::Result result_;
+};
+
 }  // namespace
 
 PktSim::PktSim(const topo::Topology& topo, PktSimConfig config)
-    : topo_(&topo), config_(config) {
+    : topo_(&topo), config_(config),
+      scratch_(std::make_unique<detail::PktScratch>()) {
   if (config.num_vls < 1 || config.num_vls > 15)
     throw std::invalid_argument("PktSim: num_vls out of range");
   if (config.vc_buffer_packets < 1)
@@ -355,10 +799,61 @@ PktSim::PktSim(const topo::Topology& topo, PktSimConfig config)
         "would not be deadlock-free)");
 }
 
+PktSim::~PktSim() = default;
+PktSim::PktSim(PktSim&&) noexcept = default;
+PktSim& PktSim::operator=(PktSim&&) noexcept = default;
+
 PktSim::Result PktSim::run(std::span<const PktMessage> messages,
                            std::size_t max_events) {
-  Engine engine(*topo_, config_, messages);
+  if (config_.engine == PktSimConfig::Engine::kReference) {
+    ReferenceEngine engine(*topo_, config_, config_.trace, messages);
+    return engine.run(max_events);
+  }
+  TypedEngine engine(*topo_, config_, config_.trace, messages, *scratch_);
   return engine.run(max_events);
+}
+
+std::vector<PktSim::Result> PktSim::run_batch(
+    std::span<const std::vector<PktMessage>> replications,
+    std::int32_t threads, std::span<obs::PktTrace* const> traces,
+    std::size_t max_events) {
+  if (config_.trace != nullptr)
+    throw std::invalid_argument(
+        "PktSim::run_batch: a shared PktSimConfig::trace would race across "
+        "replications; pass per-replication sinks via `traces`");
+  if (!traces.empty() && traces.size() != replications.size())
+    throw std::invalid_argument(
+        "PktSim::run_batch: traces must be empty or match replications");
+  if (config_.adaptive != nullptr && !config_.adaptive->replicable())
+    throw std::invalid_argument(
+        "PktSim::run_batch: adaptive router is not replicable (its internal "
+        "state would make results depend on execution order); run each "
+        "replication through run() with its own router instance");
+
+  exec::ThreadPool pool(threads);
+  const auto workers = static_cast<std::size_t>(pool.num_threads());
+  if (batch_scratch_.size() < workers) batch_scratch_.resize(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    if (!batch_scratch_[w])
+      batch_scratch_[w] = std::make_unique<detail::PktScratch>();
+
+  std::vector<Result> results(replications.size());
+  pool.parallel_for(
+      static_cast<std::int64_t>(replications.size()),
+      [&](std::int64_t i, std::int32_t worker) {
+        obs::PktTrace* trace =
+            traces.empty() ? nullptr : traces[static_cast<std::size_t>(i)];
+        const auto& messages = replications[static_cast<std::size_t>(i)];
+        if (config_.engine == PktSimConfig::Engine::kReference) {
+          ReferenceEngine engine(*topo_, config_, trace, messages);
+          results[static_cast<std::size_t>(i)] = engine.run(max_events);
+        } else {
+          TypedEngine engine(*topo_, config_, trace, messages,
+                             *batch_scratch_[static_cast<std::size_t>(worker)]);
+          results[static_cast<std::size_t>(i)] = engine.run(max_events);
+        }
+      });
+  return results;
 }
 
 }  // namespace hxsim::sim

@@ -23,6 +23,24 @@
 //    source's terminal-up and ending at the destination's terminal-down
 //    channel); malformed paths throw instead of walking out of bounds.
 //
+// Engines: the default engine is the typed zero-allocation core -- POD
+// event records ({kInject, kXmitDone, kArrive}) on a flat 4-ary heap,
+// packets in a pool pre-sized from message bytes/MTU, per-VL FIFOs threaded
+// intrusively through that pool, and channel state split into flat
+// per-channel / per-channel-x-VL arrays.  All of that scratch lives in the
+// PktSim object and is reused across run() calls, so a warm engine performs
+// zero heap allocations per event.  The seed std::function engine is kept
+// as Engine::kReference, bit-identical by construction; the golden suite in
+// tests/pktsim_golden_test.cpp and bench/pktsim_scaling hold the two to
+// byte equality.
+//
+// Replication: run_batch() fans independent message sets across an
+// exec::ThreadPool, one engine instance (and scratch) per worker, results
+// bit-identical to a serial run() loop at any thread count.  Shared-state
+// hazards are rejected up front: a shared PktSimConfig::trace and
+// non-replicable adaptive routers (AdaptiveRouter::replicable()) both
+// throw.
+//
 // Observability: attach an obs::PktTrace via PktSimConfig::trace to collect
 // per-channel x VL counters (packets/bytes crossed, credit-stall time,
 // arbitration skips, queue depths, final credits).  Tracing is off by
@@ -31,6 +49,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -42,6 +61,10 @@
 #include "topo/topology.hpp"
 
 namespace hxsim::sim {
+
+namespace detail {
+struct PktScratch;  // engine scratch (pktsim.cpp); reused across runs
+}
 
 struct PktMessage {
   topo::NodeId src = topo::kInvalidNode;
@@ -71,13 +94,22 @@ struct PktSimConfig {
   std::int32_t deroute_penalty = 2;
   /// Optional counter sink (not owned; must outlive run()).  When set, the
   /// simulator resets it at the start of every run and fills per-channel x
-  /// VL counters; simulation results are unaffected.
+  /// VL counters; simulation results are unaffected.  run_batch() rejects a
+  /// shared trace -- pass per-replication sinks there instead.
   obs::PktTrace* trace = nullptr;
+  /// Engine selection.  kTyped is the allocation-free data-oriented engine
+  /// (the default); kReference is the seed std::function/deque engine,
+  /// kept for golden bit-identity testing and old-vs-new benchmarking.
+  enum class Engine : std::int8_t { kTyped, kReference };
+  Engine engine = Engine::kTyped;
 };
 
 class PktSim {
  public:
   explicit PktSim(const topo::Topology& topo, PktSimConfig config = {});
+  ~PktSim();
+  PktSim(PktSim&&) noexcept;
+  PktSim& operator=(PktSim&&) noexcept;
 
   struct Result {
     /// Per-message delivery time of the last packet; NaN if undelivered.
@@ -91,19 +123,43 @@ class PktSim {
     double end_time = 0.0;
     std::int64_t packets_delivered = 0;
     std::int64_t packets_total = 0;
+    /// Discrete events dispatched by the run (inject + xmit-done + arrive);
+    /// the denominator of the engine's events/sec throughput.
+    std::int64_t events_executed = 0;
     /// Populated when deadlock: every buffered packet and one extracted
     /// credit-wait cycle (see obs/deadlock.hpp).
     obs::DeadlockReport deadlock_report;
   };
 
   /// Runs all messages to completion (or deadlock).  `max_events` guards
-  /// against runaway simulations.
+  /// against runaway simulations.  Engine scratch (event heap, packet
+  /// pool, channel arrays) persists in this PktSim, so repeated runs on a
+  /// warm instance allocate only the returned Result.
   [[nodiscard]] Result run(std::span<const PktMessage> messages,
                            std::size_t max_events = SIZE_MAX);
+
+  /// Runs each replication's message set on its own engine instance,
+  /// fanned across `threads` workers (0: exec::default_threads()).  Every
+  /// replication is simulated exactly as a run() call would, with
+  /// per-worker scratch, so the result vector is bit-identical to a serial
+  /// run() loop at any thread count.  `traces`, when non-empty, supplies
+  /// one obs::PktTrace* per replication (entries may be nullptr).  Throws
+  /// std::invalid_argument when config.trace is set (a shared sink would
+  /// race across workers) or when the adaptive router is not replicable()
+  /// (ValiantRouter's RNG would make results order-dependent).
+  [[nodiscard]] std::vector<Result> run_batch(
+      std::span<const std::vector<PktMessage>> replications,
+      std::int32_t threads = 0,
+      std::span<obs::PktTrace* const> traces = {},
+      std::size_t max_events = SIZE_MAX);
 
  private:
   const topo::Topology* topo_;
   PktSimConfig config_;
+  /// Warm-path scratch for run(); lazily sized to the topology/messages.
+  std::unique_ptr<detail::PktScratch> scratch_;
+  /// Per-worker scratch for run_batch(); grown to the pool width on use.
+  std::vector<std::unique_ptr<detail::PktScratch>> batch_scratch_;
 };
 
 }  // namespace hxsim::sim

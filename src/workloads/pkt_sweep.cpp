@@ -1,0 +1,160 @@
+#include "workloads/pkt_sweep.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/rng.hpp"
+
+namespace hxsim::workloads {
+
+const char* to_string(PktPattern pattern) {
+  switch (pattern) {
+    case PktPattern::kUniformRandom: return "uniform_random";
+    case PktPattern::kShift: return "shift";
+    case PktPattern::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+namespace {
+
+/// src -> dst message routed per the arm: a static arm resolves the path
+/// and VL from its tables; an adaptive arm leaves the path empty (the
+/// engine routes per hop).
+sim::PktMessage make_message(const topo::Topology& topo,
+                             const PktRoutingArm& arm, topo::NodeId src,
+                             topo::NodeId dst, std::int64_t bytes,
+                             double inject_time) {
+  sim::PktMessage m;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.inject_time = inject_time;
+  if (arm.route != nullptr) {
+    auto path = arm.route->tables.path(topo, *arm.lids, src,
+                                       arm.lids->base_lid(dst));
+    m.path = std::move(path.channels);
+    m.vl = arm.route->vls.vl(topo.attach_switch(src),
+                             arm.lids->base_lid(dst));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<sim::PktMessage> build_pkt_messages(const topo::Topology& topo,
+                                                const PktRoutingArm& arm,
+                                                const PktPatternSpec& spec,
+                                                std::uint64_t seed) {
+  if ((arm.route != nullptr) == (arm.adaptive != nullptr))
+    throw std::invalid_argument(
+        "pkt_sweep: arm must set exactly one of route/adaptive");
+  if (arm.route != nullptr && arm.lids == nullptr)
+    throw std::invalid_argument("pkt_sweep: static arm needs lids");
+
+  const auto n = static_cast<std::uint64_t>(topo.num_terminals());
+  // Jittered injection de-synchronises the senders a little, as real NICs
+  // are; the window is tiny next to any serialization time.
+  stats::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::vector<sim::PktMessage> msgs;
+
+  switch (spec.pattern) {
+    case PktPattern::kUniformRandom:
+      msgs.reserve(static_cast<std::size_t>(spec.messages));
+      while (static_cast<std::int32_t>(msgs.size()) < spec.messages) {
+        const auto src = static_cast<topo::NodeId>(rng.next_below(n));
+        const auto dst = static_cast<topo::NodeId>(rng.next_below(n));
+        if (src == dst) continue;
+        msgs.push_back(make_message(topo, arm, src, dst, spec.bytes,
+                                    rng.uniform() * 1e-6));
+      }
+      break;
+    case PktPattern::kShift: {
+      msgs.reserve(n);
+      const auto r = static_cast<std::uint64_t>(spec.shift) % n;
+      if (r == 0)
+        throw std::invalid_argument("pkt_sweep: shift must be nonzero mod N");
+      for (std::uint64_t i = 0; i < n; ++i)
+        msgs.push_back(make_message(topo, arm,
+                                    static_cast<topo::NodeId>(i),
+                                    static_cast<topo::NodeId>((i + r) % n),
+                                    spec.bytes, rng.uniform() * 1e-6));
+      break;
+    }
+    case PktPattern::kHotspot: {
+      const auto hot = static_cast<topo::NodeId>(rng.next_below(n));
+      msgs.reserve(static_cast<std::size_t>(spec.messages));
+      while (static_cast<std::int32_t>(msgs.size()) < spec.messages) {
+        const auto src = static_cast<topo::NodeId>(rng.next_below(n));
+        if (src == hot) continue;
+        msgs.push_back(make_message(topo, arm, src, hot, spec.bytes,
+                                    rng.uniform() * 1e-6));
+      }
+      break;
+    }
+  }
+  return msgs;
+}
+
+std::vector<PktReplicationResult> run_pkt_sweep(
+    const topo::Topology& topo, std::span<const PktRoutingArm> arms,
+    std::span<const PktPatternSpec> patterns,
+    const PktSweepOptions& options) {
+  if (options.config.trace != nullptr)
+    throw std::invalid_argument(
+        "pkt_sweep: config.trace must be null (shared sinks race)");
+  if (options.seeds < 1)
+    throw std::invalid_argument("pkt_sweep: need at least one seed");
+
+  std::vector<PktReplicationResult> out;
+  for (const PktRoutingArm& arm : arms) {
+    // One simulator (and per-worker scratch pool) per arm; all of the
+    // arm's (pattern, seed) replications fan through one run_batch call.
+    sim::PktSimConfig cfg = options.config;
+    cfg.adaptive = arm.adaptive;
+    sim::PktSim sim(topo, cfg);
+
+    std::vector<std::vector<sim::PktMessage>> sets;
+    sets.reserve(patterns.size() *
+                 static_cast<std::size_t>(options.seeds));
+    for (const PktPatternSpec& spec : patterns)
+      for (std::int32_t s = 1; s <= options.seeds; ++s)
+        sets.push_back(build_pkt_messages(topo, arm, spec,
+                                          static_cast<std::uint64_t>(s)));
+
+    const std::vector<sim::PktSim::Result> results =
+        sim.run_batch(sets, options.threads, {}, options.max_events);
+
+    std::size_t i = 0;
+    for (const PktPatternSpec& spec : patterns) {
+      for (std::int32_t s = 1; s <= options.seeds; ++s, ++i) {
+        const sim::PktSim::Result& r = results[i];
+        PktReplicationResult rep;
+        rep.arm = arm.name;
+        rep.pattern = spec.pattern;
+        rep.seed = static_cast<std::uint64_t>(s);
+        rep.deadlock = r.deadlock;
+        rep.end_time = r.end_time;
+        rep.packets_delivered = r.packets_delivered;
+        rep.packets_total = r.packets_total;
+        rep.events_executed = r.events_executed;
+        double sum = 0.0;
+        std::int64_t done = 0;
+        for (const double t : r.completion)
+          if (!std::isnan(t)) {
+            sum += t;
+            ++done;
+          }
+        rep.mean_completion =
+            done > 0 ? sum / static_cast<double>(done)
+                     : std::numeric_limits<double>::quiet_NaN();
+        out.push_back(std::move(rep));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hxsim::workloads

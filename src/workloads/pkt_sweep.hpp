@@ -1,0 +1,90 @@
+// Packet-level replication sweeps.
+//
+// The paper's congestion-sensitive claims (mpiGraph hotspots, eBB
+// bisection, adaptive vs static routing) rest on packet-granularity runs,
+// and the studies this repo follows up on (FatPaths, fault-tolerant HyperX
+// routing) get their statistical weight from *many* such runs: traffic
+// pattern x seed x routing arm.  run_pkt_sweep() is that harness: it
+// builds a seeded message set per replication and fans all replications
+// across PktSim::run_batch, one warm engine per worker.  Results are
+// bit-identical to a serial loop at any thread count; every replication is
+// reproducible from (arm, pattern, seed) alone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "routing/engine.hpp"
+#include "routing/lid_space.hpp"
+#include "sim/pktsim.hpp"
+#include "topo/topology.hpp"
+
+namespace hxsim::workloads {
+
+/// Synthetic traffic families of the sweep.
+enum class PktPattern : std::int8_t {
+  kUniformRandom,  // random src -> dst pairs (self-sends redrawn)
+  kShift,          // mpiGraph-style: every node i sends to (i + shift) % N
+  kHotspot,        // `messages` random senders target one drawn hotspot
+};
+
+[[nodiscard]] const char* to_string(PktPattern pattern);
+
+struct PktPatternSpec {
+  PktPattern pattern = PktPattern::kUniformRandom;
+  /// Message count for kUniformRandom / kHotspot (kShift sends N messages).
+  std::int32_t messages = 256;
+  /// kShift only: the shift distance r in dst = (src + r) mod N.
+  std::int32_t shift = 1;
+  std::int64_t bytes = 64 * 1024;  // per message
+};
+
+/// One routing arm of the sweep: either static tables (route + lids) or a
+/// per-hop adaptive router.  Exactly one of the two must be set.  Adaptive
+/// routers must be replicable() -- run_batch enforces it.
+struct PktRoutingArm {
+  std::string name;
+  const routing::RouteResult* route = nullptr;
+  const routing::LidSpace* lids = nullptr;
+  const sim::AdaptiveRouter* adaptive = nullptr;
+};
+
+/// One replication's summary, in deterministic (arm, pattern, seed) order.
+struct PktReplicationResult {
+  std::string arm;
+  PktPattern pattern = PktPattern::kUniformRandom;
+  std::uint64_t seed = 0;
+  bool deadlock = false;
+  double end_time = 0.0;
+  /// Mean message completion time (NaN when nothing completed).
+  double mean_completion = 0.0;
+  std::int64_t packets_delivered = 0;
+  std::int64_t packets_total = 0;
+  std::int64_t events_executed = 0;
+};
+
+struct PktSweepOptions {
+  /// Engine configuration; `trace` must stay null (run_batch would reject
+  /// a shared sink) and `adaptive` is overwritten per arm.
+  sim::PktSimConfig config;
+  std::int32_t seeds = 4;    // replications per arm x pattern, seed 1..seeds
+  std::int32_t threads = 0;  // 0: exec::default_threads()
+  std::size_t max_events = SIZE_MAX;
+};
+
+/// The seeded message set of one replication (deterministic in its
+/// arguments; the sweep itself is built from these).
+[[nodiscard]] std::vector<sim::PktMessage> build_pkt_messages(
+    const topo::Topology& topo, const PktRoutingArm& arm,
+    const PktPatternSpec& spec, std::uint64_t seed);
+
+/// Runs every (arm, pattern, seed) replication, parallel across
+/// options.threads workers, results bit-identical at any thread count.
+[[nodiscard]] std::vector<PktReplicationResult> run_pkt_sweep(
+    const topo::Topology& topo, std::span<const PktRoutingArm> arms,
+    std::span<const PktPatternSpec> patterns,
+    const PktSweepOptions& options = {});
+
+}  // namespace hxsim::workloads

@@ -1,0 +1,318 @@
+// Golden bit-identity suite: the typed zero-allocation packet engine vs
+// the seed reference engine (PktSimConfig::Engine::kReference).
+//
+// The typed engine is a representational rewrite -- POD events on a flat
+// 4-ary heap, intrusive VL FIFOs through a packet pool, SoA channel state
+// -- with control flow mirrored line for line, so every observable must be
+// *bitwise* identical: completion times, packet counts, event counts,
+// deadlock reports (including the extracted credit-wait cycle) and every
+// PktTrace counter.  The matrix covers both paper fabrics (12x8 HyperX
+// with DFSSSP, 3-level fat tree with ftree), static and adaptive (DAL)
+// routing, tracing on and off, truncated runs, deadlocked runs, and batch
+// replication at {1, 4} threads.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "routing/dfsssp.hpp"
+#include "routing/ftree.hpp"
+#include "routing/lid_space.hpp"
+#include "sim/adaptive.hpp"
+#include "sim/pktsim.hpp"
+#include "stats/rng.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/hyperx.hpp"
+
+namespace hxsim::sim {
+namespace {
+
+using topo::ChannelId;
+using topo::NodeId;
+using topo::SwitchId;
+using topo::Topology;
+
+/// Bitwise result equality; NaN completion entries compare by
+/// representation, not by operator== (NaN != NaN).
+void expect_identical(const PktSim::Result& a, const PktSim::Result& b) {
+  ASSERT_EQ(a.completion.size(), b.completion.size());
+  if (!a.completion.empty())
+    EXPECT_EQ(std::memcmp(a.completion.data(), b.completion.data(),
+                          a.completion.size() * sizeof(double)),
+              0);
+  EXPECT_EQ(a.deadlock, b.deadlock);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(std::memcmp(&a.end_time, &b.end_time, sizeof(double)), 0);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_total, b.packets_total);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.deadlock_report.blocked, b.deadlock_report.blocked);
+  EXPECT_EQ(a.deadlock_report.cycle, b.deadlock_report.cycle);
+}
+
+/// Field-wise counter equality (ChannelVlCounters has no operator== and
+/// struct padding forbids memcmp); doubles compare bitwise.
+void expect_traces_identical(const obs::PktTrace& a, const obs::PktTrace& b) {
+  ASSERT_EQ(a.num_channels(), b.num_channels());
+  ASSERT_EQ(a.num_vls(), b.num_vls());
+  for (ChannelId ch = 0; ch < a.num_channels(); ++ch) {
+    for (std::int8_t vl = 0; vl < a.num_vls(); ++vl) {
+      const obs::ChannelVlCounters& ca = a.at(ch, vl);
+      const obs::ChannelVlCounters& cb = b.at(ch, vl);
+      ASSERT_EQ(ca.packets, cb.packets) << "ch " << ch << " vl " << int(vl);
+      ASSERT_EQ(ca.bytes, cb.bytes) << "ch " << ch << " vl " << int(vl);
+      ASSERT_EQ(std::memcmp(&ca.credit_stall_s, &cb.credit_stall_s,
+                            sizeof(double)),
+                0)
+          << "ch " << ch << " vl " << int(vl);
+      ASSERT_EQ(ca.arb_skips, cb.arb_skips) << "ch " << ch << " vl "
+                                            << int(vl);
+      ASSERT_EQ(ca.peak_queue, cb.peak_queue) << "ch " << ch << " vl "
+                                              << int(vl);
+      ASSERT_EQ(std::memcmp(&ca.queue_depth_time, &cb.queue_depth_time,
+                            sizeof(double)),
+                0)
+          << "ch " << ch << " vl " << int(vl);
+      ASSERT_EQ(ca.final_credits, cb.final_credits)
+          << "ch " << ch << " vl " << int(vl);
+    }
+  }
+}
+
+/// Runs `msgs` through both engines (fresh simulator each) and asserts
+/// bitwise identity of results and, when `with_trace`, of every counter.
+void golden_compare(const Topology& topo, PktSimConfig base,
+                    const std::vector<PktMessage>& msgs, bool with_trace,
+                    std::size_t max_events = SIZE_MAX) {
+  obs::PktTrace typed_trace;
+  obs::PktTrace ref_trace;
+
+  PktSimConfig typed_cfg = base;
+  typed_cfg.engine = PktSimConfig::Engine::kTyped;
+  typed_cfg.trace = with_trace ? &typed_trace : nullptr;
+  PktSim typed(topo, typed_cfg);
+  const PktSim::Result rt = typed.run(msgs, max_events);
+
+  PktSimConfig ref_cfg = base;
+  ref_cfg.engine = PktSimConfig::Engine::kReference;
+  ref_cfg.trace = with_trace ? &ref_trace : nullptr;
+  PktSim ref(topo, ref_cfg);
+  const PktSim::Result rr = ref.run(msgs, max_events);
+
+  expect_identical(rt, rr);
+  if (with_trace) expect_traces_identical(typed_trace, ref_trace);
+}
+
+// --- paper HyperX, static DFSSSP ------------------------------------------------
+
+class HyperXGolden : public ::testing::Test {
+ protected:
+  HyperXGolden()
+      : hx_(topo::paper_hyperx_params()),
+        lids_(routing::LidSpace::consecutive(hx_.topo().num_terminals(), 0)),
+        route_(routing::DfssspEngine(8).compute(hx_.topo(), lids_)),
+        dal_(hx_) {}
+
+  /// Seeded random traffic; `adaptive_share` in [0, 1] of the messages are
+  /// path-less (DAL-routed), the rest follow the static tables.
+  std::vector<PktMessage> traffic(std::uint64_t seed, std::size_t count,
+                                  double adaptive_share) const {
+    const auto n = static_cast<std::uint64_t>(hx_.topo().num_terminals());
+    stats::Rng rng(seed);
+    std::vector<PktMessage> msgs;
+    while (msgs.size() < count) {
+      const auto src = static_cast<NodeId>(rng.next_below(n));
+      const auto dst = static_cast<NodeId>(rng.next_below(n));
+      if (src == dst) continue;
+      PktMessage m;
+      m.src = src;
+      m.dst = dst;
+      m.bytes = static_cast<std::int64_t>(rng.next_below(32 * 1024)) + 1;
+      m.inject_time = rng.uniform() * 1e-6;
+      if (!rng.bernoulli(adaptive_share)) {
+        auto path =
+            route_.tables.path(hx_.topo(), lids_, src, lids_.base_lid(dst));
+        m.path = std::move(path.channels);
+        m.vl =
+            route_.vls.vl(hx_.topo().attach_switch(src), lids_.base_lid(dst));
+      }
+      msgs.push_back(std::move(m));
+    }
+    return msgs;
+  }
+
+  topo::HyperX hx_;
+  routing::LidSpace lids_;
+  routing::RouteResult route_;
+  DalRouter dal_;
+};
+
+TEST_F(HyperXGolden, StaticDfssspWithoutTrace) {
+  golden_compare(hx_.topo(), PktSimConfig{}, traffic(11, 300, 0.0), false);
+}
+
+TEST_F(HyperXGolden, StaticDfssspWithTrace) {
+  golden_compare(hx_.topo(), PktSimConfig{}, traffic(12, 300, 0.0), true);
+}
+
+TEST_F(HyperXGolden, AdaptiveDalWithoutTrace) {
+  PktSimConfig cfg;
+  cfg.adaptive = &dal_;
+  golden_compare(hx_.topo(), cfg, traffic(13, 300, 1.0), false);
+}
+
+TEST_F(HyperXGolden, AdaptiveDalWithTrace) {
+  PktSimConfig cfg;
+  cfg.adaptive = &dal_;
+  golden_compare(hx_.topo(), cfg, traffic(14, 300, 1.0), true);
+}
+
+TEST_F(HyperXGolden, MixedStaticAndAdaptiveWithTrace) {
+  PktSimConfig cfg;
+  cfg.adaptive = &dal_;
+  cfg.vc_buffer_packets = 2;  // tighter buffers: more arbitration activity
+  golden_compare(hx_.topo(), cfg, traffic(15, 400, 0.5), true);
+}
+
+TEST_F(HyperXGolden, TruncatedRunsMatch) {
+  // Stopping both engines mid-flight at the same event budget must leave
+  // them in bitwise-identical (truncated, not deadlocked) states.
+  PktSimConfig cfg;
+  golden_compare(hx_.topo(), cfg, traffic(16, 200, 0.0), true,
+                 /*max_events=*/5000);
+}
+
+TEST_F(HyperXGolden, BatchMatchesSerialReferenceLoop) {
+  // run_batch on the typed engine vs a serial reference-engine loop: the
+  // full cross-engine + cross-parallelism identity, at 1 and 4 threads.
+  PktSimConfig cfg;
+  cfg.adaptive = &dal_;
+
+  std::vector<std::vector<PktMessage>> reps;
+  for (std::uint64_t s = 21; s <= 26; ++s)
+    reps.push_back(traffic(s, 120, 0.5));
+
+  std::vector<PktSim::Result> serial;
+  PktSimConfig ref_cfg = cfg;
+  ref_cfg.engine = PktSimConfig::Engine::kReference;
+  for (const auto& r : reps) {
+    PktSim ref(hx_.topo(), ref_cfg);
+    serial.push_back(ref.run(r));
+  }
+
+  for (const std::int32_t threads : {1, 4}) {
+    PktSim typed(hx_.topo(), cfg);
+    const auto batch = typed.run_batch(reps, threads);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " replication=" + std::to_string(i));
+      expect_identical(batch[i], serial[i]);
+    }
+  }
+}
+
+TEST_F(HyperXGolden, WarmTypedEngineStaysIdenticalToColdReference) {
+  // Scratch reuse across runs must never bleed state: run the typed
+  // simulator three times on three message sets and compare each against
+  // a cold reference engine.
+  PktSimConfig cfg;
+  cfg.adaptive = &dal_;
+  PktSim typed(hx_.topo(), cfg);
+  PktSimConfig ref_cfg = cfg;
+  ref_cfg.engine = PktSimConfig::Engine::kReference;
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    const auto msgs = traffic(seed, 200, 0.5);
+    PktSim ref(hx_.topo(), ref_cfg);
+    expect_identical(typed.run(msgs), ref.run(msgs));
+  }
+}
+
+// --- paper fat tree, static ftree -----------------------------------------------
+
+class FatTreeGolden : public ::testing::Test {
+ protected:
+  FatTreeGolden()
+      : ft_(topo::paper_fat_tree_params()),
+        lids_(routing::LidSpace::consecutive(ft_.topo().num_terminals(), 0)),
+        route_(routing::FtreeEngine(ft_).compute(ft_.topo(), lids_)) {}
+
+  std::vector<PktMessage> traffic(std::uint64_t seed,
+                                  std::size_t count) const {
+    const auto n = static_cast<std::uint64_t>(ft_.topo().num_terminals());
+    stats::Rng rng(seed);
+    std::vector<PktMessage> msgs;
+    while (msgs.size() < count) {
+      const auto src = static_cast<NodeId>(rng.next_below(n));
+      const auto dst = static_cast<NodeId>(rng.next_below(n));
+      if (src == dst) continue;
+      auto path =
+          route_.tables.path(ft_.topo(), lids_, src, lids_.base_lid(dst));
+      PktMessage m;
+      m.src = src;
+      m.dst = dst;
+      m.bytes = static_cast<std::int64_t>(rng.next_below(32 * 1024)) + 1;
+      m.inject_time = rng.uniform() * 1e-6;
+      m.path = std::move(path.channels);
+      m.vl = route_.vls.vl(ft_.topo().attach_switch(src), lids_.base_lid(dst));
+      msgs.push_back(std::move(m));
+    }
+    return msgs;
+  }
+
+  topo::FatTree ft_;
+  routing::LidSpace lids_;
+  routing::RouteResult route_;
+};
+
+TEST_F(FatTreeGolden, StaticFtreeWithoutTrace) {
+  golden_compare(ft_.topo(), PktSimConfig{}, traffic(41, 300), false);
+}
+
+TEST_F(FatTreeGolden, StaticFtreeWithTrace) {
+  golden_compare(ft_.topo(), PktSimConfig{}, traffic(42, 300), true);
+}
+
+TEST_F(FatTreeGolden, TightBuffersWithTrace) {
+  PktSimConfig cfg;
+  cfg.vc_buffer_packets = 1;  // maximum credit pressure on the up links
+  golden_compare(ft_.topo(), cfg, traffic(43, 300), true);
+}
+
+// --- deadlock post-mortem -------------------------------------------------------
+
+TEST(DeadlockGolden, CyclicRoutesProduceIdenticalReports) {
+  // The Section 3.2 triangle: cyclic two-hop routes on one VL deadlock.
+  // Both engines must report the same blocked set AND extract the same
+  // credit-wait cycle, with tracing on and off.
+  Topology topo("triangle");
+  SwitchId sw[3];
+  NodeId node[3];
+  ChannelId fwd[3];
+  for (auto& s : sw) s = topo.add_switch();
+  for (int i = 0; i < 3; ++i) node[i] = topo.add_terminal(sw[i]);
+  for (int i = 0; i < 3; ++i) {
+    auto [f, unused] = topo.connect(sw[i], sw[(i + 1) % 3]);
+    (void)unused;
+    fwd[i] = f;
+  }
+  std::vector<PktMessage> msgs;
+  for (int rep = 0; rep < 4; ++rep)
+    for (int i = 0; i < 3; ++i) {
+      PktMessage m;
+      m.src = node[i];
+      m.dst = node[(i + 2) % 3];
+      m.bytes = 16 * 2048;
+      m.path = {topo.terminal_up(node[i]), fwd[i], fwd[(i + 1) % 3],
+                topo.terminal_down(node[(i + 2) % 3])};
+      msgs.push_back(std::move(m));
+    }
+  PktSimConfig cfg;
+  cfg.vc_buffer_packets = 1;
+  golden_compare(topo, cfg, msgs, /*with_trace=*/false);
+  golden_compare(topo, cfg, msgs, /*with_trace=*/true);
+}
+
+}  // namespace
+}  // namespace hxsim::sim

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -1215,6 +1218,338 @@ TEST_F(DalSuite, RejectsRouterExceedingVlBudget) {
   cfg.adaptive = &dal_;
   cfg.num_vls = 2;  // DAL needs 4
   EXPECT_THROW(PktSim(hx_.topo(), cfg), std::invalid_argument);
+}
+
+// --- FlatEventHeap --------------------------------------------------------------
+
+TEST(FlatEventHeap, PopsInTimeOrder) {
+  FlatEventHeap<int> h;
+  const double times[] = {3.0, 1.0, 4.0, 1.5, 9.0, 2.5, 6.0};
+  int tag = 0;
+  for (const double t : times) h.schedule(t, tag++);
+  double prev = -1.0;
+  while (!h.empty()) {
+    (void)h.pop();
+    EXPECT_GE(h.now(), prev);
+    prev = h.now();
+  }
+  EXPECT_DOUBLE_EQ(h.now(), 9.0);
+}
+
+TEST(FlatEventHeap, EqualTimesPopInScheduleOrder) {
+  // The determinism contract shared with EventQueue: ties break by
+  // scheduling order (monotone sequence number), never heap position.
+  FlatEventHeap<int> h;
+  h.schedule(2.0, 100);
+  for (int i = 0; i < 16; ++i) h.schedule(1.0, i);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(h.pop(), i);
+  EXPECT_EQ(h.pop(), 100);
+}
+
+TEST(FlatEventHeap, RejectsPastEvents) {
+  // Satellite of the EventQueue "must be >= now()" contract: the typed
+  // core enforces it identically (the seed queue already throws; see
+  // EventQueue.RejectsPastEvents above).
+  FlatEventHeap<int> h;
+  h.schedule(5.0, 1);
+  (void)h.pop();
+  EXPECT_DOUBLE_EQ(h.now(), 5.0);
+  EXPECT_THROW(h.schedule(1.0, 2), std::invalid_argument);
+  EXPECT_NO_THROW(h.schedule(5.0, 3));  // exactly now() is legal
+}
+
+TEST(FlatEventHeap, RejectsNanTimestamps) {
+  FlatEventHeap<int> h;
+  EXPECT_THROW(h.schedule(std::numeric_limits<double>::quiet_NaN(), 1),
+               std::invalid_argument);
+}
+
+TEST(FlatEventHeap, ResetKeepsCapacity) {
+  FlatEventHeap<int> h;
+  h.reserve(1024);
+  const std::size_t cap = h.capacity();
+  ASSERT_GE(cap, 1024u);
+  for (int i = 0; i < 1000; ++i) h.schedule(static_cast<double>(i), i);
+  while (!h.empty()) (void)h.pop();
+  h.reset();
+  EXPECT_EQ(h.capacity(), cap);  // warm: reset never releases storage
+  EXPECT_DOUBLE_EQ(h.now(), 0.0);
+  for (int i = 0; i < 1000; ++i) h.schedule(static_cast<double>(i), i);
+  EXPECT_EQ(h.capacity(), cap);  // and refilling does not reallocate
+}
+
+// --- engine selection and batch replication -------------------------------------
+
+/// Bitwise equality of two results (NaN-safe: completion compares by
+/// representation, not operator==).
+void expect_results_identical(const PktSim::Result& a,
+                              const PktSim::Result& b) {
+  ASSERT_EQ(a.completion.size(), b.completion.size());
+  if (!a.completion.empty())
+    EXPECT_EQ(std::memcmp(a.completion.data(), b.completion.data(),
+                          a.completion.size() * sizeof(double)),
+              0);
+  EXPECT_EQ(a.deadlock, b.deadlock);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(std::memcmp(&a.end_time, &b.end_time, sizeof(double)), 0);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_total, b.packets_total);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.deadlock_report.blocked, b.deadlock_report.blocked);
+  EXPECT_EQ(a.deadlock_report.cycle, b.deadlock_report.cycle);
+}
+
+TEST(PktSimEngines, ReferenceEngineMatchesTypedOnDumbbell) {
+  const Dumbbell d;
+  std::vector<PktMessage> msgs;
+  for (NodeId i = 0; i < 4; ++i) {
+    const Flow f = d.flow(i, 4 + i, 10000);
+    msgs.push_back(make_msg(d.topo, i, 4 + i, f.bytes, f.channels));
+  }
+  PktSimConfig typed_cfg;
+  PktSim typed(d.topo, typed_cfg);
+  PktSimConfig ref_cfg;
+  ref_cfg.engine = PktSimConfig::Engine::kReference;
+  PktSim ref(d.topo, ref_cfg);
+  const auto rt = typed.run(msgs);
+  const auto rr = ref.run(msgs);
+  expect_results_identical(rt, rr);
+  EXPECT_GT(rt.events_executed, 0);
+}
+
+TEST(PktSimEngines, WarmRunsAreRepeatable) {
+  // The same simulator instance re-run on the same messages must produce
+  // the same bits: scratch reuse may never leak state between runs.
+  const Dumbbell d;
+  std::vector<PktMessage> msgs;
+  for (NodeId i = 0; i < 4; ++i) {
+    const Flow f = d.flow(i, 4 + i, 50000);
+    msgs.push_back(make_msg(d.topo, i, 4 + i, f.bytes, f.channels));
+  }
+  PktSim sim(d.topo, PktSimConfig{});
+  const auto first = sim.run(msgs);
+  const auto second = sim.run(msgs);
+  const auto third = sim.run(msgs);
+  expect_results_identical(first, second);
+  expect_results_identical(first, third);
+}
+
+/// Replication message sets on the small HyperX: a mix of static DFSSSP
+/// paths and path-less (DAL-routed) messages, seeded per replication.
+struct BatchFixture {
+  topo::HyperX hx{topo::small_hyperx_params()};
+  routing::LidSpace lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  routing::RouteResult route = routing::DfssspEngine(8).compute(hx.topo(), lids);
+  DalRouter dal{hx};
+
+  std::vector<PktMessage> replication(std::uint64_t seed) const {
+    const auto n = static_cast<std::uint64_t>(hx.topo().num_terminals());
+    stats::Rng rng(seed);
+    std::vector<PktMessage> msgs;
+    while (msgs.size() < 40) {
+      const auto src = static_cast<NodeId>(rng.next_below(n));
+      const auto dst = static_cast<NodeId>(rng.next_below(n));
+      if (src == dst) continue;
+      PktMessage m;
+      m.src = src;
+      m.dst = dst;
+      m.bytes = static_cast<std::int64_t>(rng.next_below(16 * 1024)) + 1;
+      m.inject_time = rng.uniform() * 1e-6;
+      if (rng.bernoulli(0.5)) {
+        auto path =
+            route.tables.path(hx.topo(), lids, src, lids.base_lid(dst));
+        m.path = std::move(path.channels);
+        m.vl = route.vls.vl(hx.topo().attach_switch(src), lids.base_lid(dst));
+      }  // else adaptive
+      msgs.push_back(std::move(m));
+    }
+    return msgs;
+  }
+};
+
+TEST(PktSimBatch, BitIdenticalToSerialAtAnyThreadCount) {
+  const BatchFixture fx;
+  PktSimConfig cfg;
+  cfg.adaptive = &fx.dal;
+
+  std::vector<std::vector<PktMessage>> reps;
+  for (std::uint64_t s = 1; s <= 6; ++s) reps.push_back(fx.replication(s));
+
+  // Serial reference: one fresh run() per replication.
+  std::vector<PktSim::Result> serial;
+  for (const auto& r : reps) {
+    PktSim sim(fx.hx.topo(), cfg);
+    serial.push_back(sim.run(r));
+  }
+
+  for (const std::int32_t threads : {1, 2, 4}) {
+    PktSim sim(fx.hx.topo(), cfg);
+    const auto batch = sim.run_batch(reps, threads);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " replication=" + std::to_string(i));
+      expect_results_identical(batch[i], serial[i]);
+    }
+  }
+}
+
+TEST(PktSimBatch, PerReplicationTracesMatchSerial) {
+  const BatchFixture fx;
+  PktSimConfig cfg;
+  cfg.adaptive = &fx.dal;
+
+  std::vector<std::vector<PktMessage>> reps;
+  for (std::uint64_t s = 1; s <= 3; ++s) reps.push_back(fx.replication(s));
+
+  std::vector<obs::PktTrace> traces(reps.size());
+  std::vector<obs::PktTrace*> sinks;
+  for (auto& t : traces) sinks.push_back(&t);
+  PktSim sim(fx.hx.topo(), cfg);
+  const auto batch = sim.run_batch(reps, 2, sinks);
+
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    obs::PktTrace serial_trace;
+    PktSimConfig scfg = cfg;
+    scfg.trace = &serial_trace;
+    PktSim ssim(fx.hx.topo(), scfg);
+    const auto serial = ssim.run(reps[i]);
+    expect_results_identical(batch[i], serial);
+    for (ChannelId ch = 0; ch < fx.hx.topo().num_channels(); ++ch) {
+      ASSERT_EQ(traces[i].channel_packets(ch), serial_trace.channel_packets(ch))
+          << "replication " << i << " channel " << ch;
+      const double batch_stall = traces[i].channel_credit_stall(ch);
+      const double serial_stall = serial_trace.channel_credit_stall(ch);
+      ASSERT_EQ(std::memcmp(&batch_stall, &serial_stall, sizeof(double)), 0);
+    }
+  }
+}
+
+TEST(PktSimBatch, RejectsSharedTrace) {
+  const Dumbbell d;
+  obs::PktTrace trace;
+  PktSimConfig cfg;
+  cfg.trace = &trace;
+  PktSim sim(d.topo, cfg);
+  const std::vector<std::vector<PktMessage>> reps(2);
+  EXPECT_THROW((void)sim.run_batch(reps), std::invalid_argument);
+}
+
+TEST(PktSimBatch, RejectsTraceCountMismatch) {
+  const Dumbbell d;
+  PktSim sim(d.topo, PktSimConfig{});
+  const std::vector<std::vector<PktMessage>> reps(3);
+  obs::PktTrace trace;
+  const std::vector<obs::PktTrace*> sinks{&trace};  // 1 != 3
+  EXPECT_THROW((void)sim.run_batch(reps, 1, sinks), std::invalid_argument);
+}
+
+TEST(PktSimBatch, RejectsNonReplicableRouter) {
+  // ValiantRouter draws intermediates from a shared mutable RNG: results
+  // would depend on replication execution order, so run_batch refuses.
+  const topo::HyperX hx(topo::small_hyperx_params());
+  const ValiantRouter val(hx, 1);
+  ASSERT_FALSE(val.replicable());
+  PktSimConfig cfg;
+  cfg.adaptive = &val;
+  PktSim sim(hx.topo(), cfg);
+  const std::vector<std::vector<PktMessage>> reps(2);
+  EXPECT_THROW((void)sim.run_batch(reps), std::invalid_argument);
+}
+
+// --- adaptive tie-break determinism ----------------------------------------------
+
+/// Star fabric for the tie-break test: src terminal on A, three parallel
+/// two-hop routes A -> B[i] -> C, dst terminal on C.
+struct Star {
+  Topology topo{"star"};
+  SwitchId a, b[3], c;
+  NodeId src, dst;
+  ChannelId ab[3], bc[3];
+
+  Star() {
+    a = topo.add_switch();
+    for (auto& s : b) s = topo.add_switch();
+    c = topo.add_switch();
+    src = topo.add_terminal(a);
+    dst = topo.add_terminal(c);
+    for (int i = 0; i < 3; ++i) {
+      std::tie(ab[i], std::ignore) = topo.connect(a, b[i]);
+      std::tie(bc[i], std::ignore) = topo.connect(b[i], c);
+    }
+  }
+};
+
+/// Presents the same admissible channels in a caller-chosen order; the
+/// engine's choice must not depend on that order.
+class PermutingRouter final : public AdaptiveRouter {
+ public:
+  PermutingRouter(const Star& star, std::array<int, 3> order)
+      : star_(&star), order_(order) {}
+
+  void candidates(topo::SwitchId sw, topo::NodeId /*dst*/,
+                  AdaptiveState& /*state*/,
+                  std::vector<RouteCandidate>& out) const override {
+    if (sw == star_->a) {
+      for (const int i : order_)
+        out.push_back(RouteCandidate{star_->ab[i], true});
+      return;
+    }
+    for (int i = 0; i < 3; ++i)
+      if (sw == star_->b[i]) {
+        out.push_back(RouteCandidate{star_->bc[i], true});
+        return;
+      }
+  }
+  void on_hop(const RouteCandidate& /*chosen*/,
+              AdaptiveState& state) const override {
+    ++state.hops_taken;
+  }
+  [[nodiscard]] std::int32_t max_hops() const override { return 2; }
+
+ private:
+  const Star* star_;
+  std::array<int, 3> order_;
+};
+
+TEST(AdaptiveTieBreak, LowestChannelIdWinsUnderAnyCandidateOrder) {
+  // All three first-hop candidates are idle (equal score): the documented
+  // tie-break picks the lowest channel id, for every permutation of the
+  // candidate list, on both engines.
+  const Star star;
+  PktMessage m;
+  m.src = star.src;
+  m.dst = star.dst;
+  m.bytes = 100;  // one packet -> exactly one adaptive choice at A
+  const std::vector<PktMessage> msgs{m};
+
+  std::array<int, 3> order{0, 1, 2};
+  std::vector<double> completions;
+  do {
+    const PermutingRouter router(star, order);
+    for (const auto engine : {PktSimConfig::Engine::kTyped,
+                              PktSimConfig::Engine::kReference}) {
+      obs::PktTrace trace;
+      PktSimConfig cfg;
+      cfg.adaptive = &router;
+      cfg.num_vls = 2;
+      cfg.trace = &trace;
+      cfg.engine = engine;
+      PktSim sim(star.topo, cfg);
+      const auto result = sim.run(msgs);
+      ASSERT_FALSE(result.deadlock);
+      // The winner is ab[0] (lowest id), never the other spokes.
+      EXPECT_EQ(trace.channel_packets(star.ab[0]), 1);
+      EXPECT_EQ(trace.channel_packets(star.ab[1]), 0);
+      EXPECT_EQ(trace.channel_packets(star.ab[2]), 0);
+      completions.push_back(result.completion[0]);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  ASSERT_EQ(completions.size(), 12u);  // 6 permutations x 2 engines
+  for (const double t : completions)
+    EXPECT_EQ(std::memcmp(&t, &completions[0], sizeof(double)), 0);
 }
 }  // namespace
 }  // namespace hxsim::sim
