@@ -111,6 +111,20 @@ void compare_engines(const char* phase, const topo::Topology& topo,
                    {"speedup", speedup}});
 }
 
+/// Field-wise sweep-summary equality, `truncated` included -- the sweep
+/// layer's own determinism contract (run_pkt_sweep at any thread count).
+bool replications_equal(const workloads::PktReplicationResult& a,
+                        const workloads::PktReplicationResult& b) {
+  return a.arm == b.arm && a.pattern == b.pattern && a.seed == b.seed &&
+         a.deadlock == b.deadlock && a.truncated == b.truncated &&
+         std::memcmp(&a.end_time, &b.end_time, sizeof(double)) == 0 &&
+         std::memcmp(&a.mean_completion, &b.mean_completion,
+                     sizeof(double)) == 0 &&
+         a.packets_delivered == b.packets_delivered &&
+         a.packets_total == b.packets_total &&
+         a.events_executed == b.events_executed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,6 +231,83 @@ int main(int argc, char** argv) {
                 {"seconds", seconds},
                 {"speedup", speedup}});
     }
+  }
+
+  // --- phase 3: sweep determinism (static + DAL + Valiant arms) ---------
+  // run_pkt_sweep at 1 vs 4 threads must agree on every summary field,
+  // truncated included.  The Valiant arm is the regression target: its
+  // randomized router draws from the engine-owned per-replication rng, so
+  // parallel batches land bit-identical to the serial loop.
+  {
+    const sim::ValiantRouter valiant(hx, args.seed);
+    const std::vector<workloads::PktRoutingArm> arms{
+        hx_static, hx_dal, {"valiant", nullptr, nullptr, &valiant}};
+    workloads::PktPatternSpec sweep_uniform = uniform;
+    sweep_uniform.messages = args.quick ? 64 : 256;
+    const std::vector<workloads::PktPatternSpec> patterns{sweep_uniform};
+
+    workloads::PktSweepOptions opt;
+    opt.seeds = args.quick ? 3 : 4;
+    opt.threads = 1;
+    bench::PhaseClock clock;
+    const auto serial = run_pkt_sweep(hx.topo(), arms, patterns, opt);
+    const double serial_s = clock.lap();
+    opt.threads = 4;
+    const auto parallel = run_pkt_sweep(hx.topo(), arms, patterns, opt);
+    const double parallel_s = clock.lap();
+    if (serial.size() != parallel.size()) {
+      std::fprintf(stderr, "sweep: result counts differ across threads!\n");
+      std::exit(1);
+    }
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      if (!replications_equal(serial[i], parallel[i])) {
+        std::fprintf(stderr,
+                     "sweep: replication %zu (arm %s, seed %llu) differs "
+                     "between 1 and 4 threads!\n",
+                     i, serial[i].arm.c_str(),
+                     static_cast<unsigned long long>(serial[i].seed));
+        std::exit(1);
+      }
+    std::int64_t truncated = 0;
+    for (const auto& r : serial) {
+      if (r.truncated) ++truncated;
+      if (r.deadlock) {
+        std::fprintf(stderr, "sweep: unexpected deadlock (arm %s)\n",
+                     r.arm.c_str());
+        std::exit(1);
+      }
+    }
+    if (truncated != 0) {  // unlimited event budget: nothing may truncate
+      std::fprintf(stderr, "sweep: %lld replications truncated!\n",
+                   static_cast<long long>(truncated));
+      std::exit(1);
+    }
+
+    // Truncation surfacing: a deliberately starved event budget must be
+    // reported as truncated (not deadlock) on every replication.
+    workloads::PktSweepOptions starved = opt;
+    starved.max_events = 64;
+    const auto capped = run_pkt_sweep(hx.topo(), arms, patterns, starved);
+    std::int64_t capped_truncated = 0;
+    for (const auto& r : capped) {
+      if (r.truncated && !r.deadlock) ++capped_truncated;
+    }
+    if (capped_truncated != static_cast<std::int64_t>(capped.size())) {
+      std::fprintf(stderr,
+                   "sweep: starved budget reported %lld/%zu truncated!\n",
+                   static_cast<long long>(capped_truncated), capped.size());
+      std::exit(1);
+    }
+    std::printf(
+        "sweep_3arms_uniform      replications=%-3zu 1T %8.1f ms | 4T %8.1f "
+        "ms | truncated 0/%zu full, %lld/%zu starved\n",
+        serial.size(), serial_s * 1e3, parallel_s * 1e3, serial.size(),
+        static_cast<long long>(capped_truncated), capped.size());
+    json.add("sweep_3arms_uniform",
+             {{"replications", static_cast<double>(serial.size())},
+              {"serial_seconds", serial_s},
+              {"parallel_seconds", parallel_s},
+              {"truncated_starved", static_cast<double>(capped_truncated)}});
   }
 
   json.write(".");

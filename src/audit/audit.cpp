@@ -1,0 +1,79 @@
+#include "audit/audit.hpp"
+
+#include <sstream>
+
+namespace hxsim::audit {
+
+namespace {
+
+const OracleEntry* find_oracle(const std::string& name) {
+  for (const OracleEntry& o : all_oracles())
+    if (name == o.name) return &o;
+  return nullptr;
+}
+
+}  // namespace
+
+AuditOutcome run_audit(const AuditOptions& options) {
+  AuditOutcome outcome;
+  const auto log = [&](const std::string& line) {
+    if (options.log) options.log(line);
+  };
+
+  for (std::int32_t i = 0; i < options.num_seeds; ++i) {
+    const std::uint64_t seed = options.first_seed + static_cast<std::uint64_t>(i);
+    const Scenario scenario = generate_scenario(seed, options.bounds);
+    const ScenarioVerdict verdict = run_all_oracles(scenario);
+    ++outcome.scenarios;
+    outcome.oracle_runs += verdict.oracles_run;
+    {
+      std::ostringstream os;
+      os << "seed " << seed << " [" << to_string(scenario.kind) << "/"
+         << scenario.engine << "] "
+         << (verdict.pass ? "ok" : "FAIL: " + verdict.oracle);
+      log(os.str());
+    }
+    if (verdict.pass) continue;
+
+    outcome.failed = true;
+    outcome.failing_seed = seed;
+    outcome.oracle = verdict.oracle;
+    outcome.detail = verdict.detail;
+
+    Scenario minimal = scenario;
+    if (options.shrink_failures) {
+      const OracleEntry* oracle = find_oracle(verdict.oracle);
+      const auto still_fails = [&](const Scenario& candidate) {
+        return oracle != nullptr && !run_oracle(*oracle, candidate).pass;
+      };
+      const ShrinkOutcome shrunk =
+          shrink(scenario, still_fails, options.max_shrink_attempts);
+      minimal = shrunk.scenario;
+      outcome.shrink_steps = shrunk.steps;
+      if (oracle != nullptr) {
+        // Re-run on the minimal scenario so the reported detail matches
+        // the repro the user will actually replay.
+        const OracleResult r = run_oracle(*oracle, minimal);
+        if (!r.pass) outcome.detail = r.detail;
+      }
+      std::ostringstream os;
+      os << "shrink: " << shrunk.steps << " reductions in "
+         << shrunk.attempts << " attempts";
+      log(os.str());
+    }
+
+    outcome.repro = to_repro(minimal);
+    if (!options.repro_path.empty()) {
+      write_repro(options.repro_path, minimal);
+      outcome.repro_file = options.repro_path;
+    }
+    return outcome;
+  }
+  return outcome;
+}
+
+ScenarioVerdict replay_repro(const std::string& path) {
+  return run_all_oracles(read_repro(path));
+}
+
+}  // namespace hxsim::audit

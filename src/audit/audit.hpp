@@ -1,0 +1,57 @@
+// The fuzz-audit driver: sweep seeds -> generate -> run every oracle ->
+// on the first failure, shrink and write a deterministic repro file.
+//
+// Everything is deterministic in (first_seed, num_seeds, bounds): a CI
+// smoke run and a developer replaying the same range see the same
+// scenarios, the same verdicts, and -- on failure -- the same shrunk
+// repro, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "audit/oracles.hpp"
+#include "audit/scenario.hpp"
+#include "audit/shrink.hpp"
+
+namespace hxsim::audit {
+
+struct AuditOptions {
+  std::uint64_t first_seed = 1;
+  std::int32_t num_seeds = 50;
+  ScenarioBounds bounds;
+  /// Minimise the failing scenario before writing the repro.
+  bool shrink_failures = true;
+  std::int32_t max_shrink_attempts = 200;
+  /// Where the shrunk repro is written on failure; empty disables the
+  /// file (the repro text is still returned in the outcome).
+  std::string repro_path = "fuzz_repro.txt";
+  /// Per-seed progress sink (optional; e.g. [](auto& s){ std::cerr << s; }).
+  std::function<void(const std::string&)> log;
+};
+
+struct AuditOutcome {
+  std::int32_t scenarios = 0;    // scenarios fully audited (incl. failing)
+  std::int64_t oracle_runs = 0;  // oracle executions across all scenarios
+  bool failed = false;
+  // Populated on failure:
+  std::uint64_t failing_seed = 0;
+  std::string oracle;        // first failing oracle name
+  std::string detail;        // its failure detail (post-shrink)
+  std::string repro;         // repro text of the shrunk scenario
+  std::string repro_file;    // path written, empty if disabled
+  std::int32_t shrink_steps = 0;
+};
+
+/// Audits seeds [first_seed, first_seed + num_seeds); stops at the first
+/// scenario any oracle rejects, shrinks it (re-running the failing oracle
+/// as the predicate), and writes the repro.
+[[nodiscard]] AuditOutcome run_audit(const AuditOptions& options = {});
+
+/// Replays a repro file against every oracle.  Returns the verdict; the
+/// scenario parsed from the file is re-validated first (throws on a
+/// malformed file).
+[[nodiscard]] ScenarioVerdict replay_repro(const std::string& path);
+
+}  // namespace hxsim::audit

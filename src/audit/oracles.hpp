@@ -1,0 +1,124 @@
+// Invariant oracles of the fuzz-audit subsystem.
+//
+// Two layers:
+//
+//  - Granular checks (check_*): pure predicates over results the caller
+//    already computed.  They exist separately so tests can prove each one
+//    *fails* on deliberately corrupted input -- an oracle that cannot fail
+//    verifies nothing.
+//  - Scenario oracles (all_oracles()): build a Scenario's fabric and drive
+//    a whole pipeline pair through it, asserting the repo's standing
+//    bit-identity and conservation contracts:
+//      pktsim_identity   typed vs reference engine, bit for bit
+//      pkt_conservation  delivered+undelivered == total, trace on/off
+//                        identical + consistent, truncation =/= deadlock
+//      sweep_determinism run_pkt_sweep at 1 vs 4 threads (static + DAL +
+//                        Valiant arms)
+//      delta_identity    DeltaRouter vs fresh full recompute, per fault
+//                        stage and through the revert/re-enable fallback
+//      table_audit       verify_deadlock_freedom + route_census on the
+//                        shipped tables, per fault stage, scoped to each
+//                        engine's actual guarantee (sssp is not
+//                        deadlock-free; ftree/parx may legally lose pairs
+//                        on faulted fabrics -- see the .cpp)
+//      flow_invariants   max-min feasibility (sum rates <= capacity) and
+//                        bottleneck optimality for every unfrozen flow
+//
+// Oracles treat a *deterministic* engine refusal (e.g. DFSSSP exhausting
+// its VL budget on a hostile fabric) as a skip, not a failure; anything
+// else escaping an oracle is caught by run_oracle and reported as one.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "audit/scenario.hpp"
+#include "routing/verify.hpp"
+#include "sim/flowsim.hpp"
+#include "sim/pktsim.hpp"
+
+namespace hxsim::audit {
+
+struct OracleResult {
+  bool pass = true;
+  /// Failure (or skip) explanation; empty on a plain pass.
+  std::string detail;
+};
+
+[[nodiscard]] inline OracleResult oracle_pass() { return {}; }
+[[nodiscard]] OracleResult oracle_fail(std::string detail);
+
+// --- granular checks -------------------------------------------------------
+
+/// Bitwise PktSim result equality (completion vector, flags, counters).
+[[nodiscard]] OracleResult check_pkt_results_equal(
+    const sim::PktSim::Result& a, const sim::PktSim::Result& b);
+
+/// Packet conservation: delivered + undelivered segments == total, NaN
+/// completions match undelivered messages, deadlock and truncated are
+/// mutually exclusive, and a clean run delivered everything.
+[[nodiscard]] OracleResult check_pkt_conservation(
+    std::span<const sim::PktMessage> messages, const sim::PktSim::Result& r);
+
+/// PktTrace counters consistent with the result: terminal-down crossings
+/// sum to packets_delivered, no negative counters, and on a clean run
+/// every credit-budgeted channel got all its credits back.
+[[nodiscard]] OracleResult check_trace_consistency(
+    const topo::Topology& topo, const sim::PktSimConfig& config,
+    const sim::PktSim::Result& r, const obs::PktTrace& trace);
+
+/// Field-wise RouteResult equality (the DeltaRouter bit-identity check).
+[[nodiscard]] OracleResult check_route_results_equal(
+    const routing::RouteResult& a, const routing::RouteResult& b,
+    const std::string& context);
+
+/// What a scenario's engine guarantees on the current fabric state.
+struct TableExpectations {
+  /// The per-VL channel dependency graphs must all be acyclic.
+  bool require_acyclic = true;
+  /// No (alive src, alive dst) pair may be lost.
+  bool require_no_lost_pairs = true;
+  /// Terminal alive mask (empty: all terminals).
+  std::span<const char> terminals;
+};
+
+/// verify_deadlock_freedom + route_census on shipped tables, plus census
+/// self-consistency (pair arithmetic) that holds for every engine.
+[[nodiscard]] OracleResult check_shipped_tables(
+    const topo::Topology& topo, const routing::LidSpace& lids,
+    const routing::RouteResult& route, const TableExpectations& expect);
+
+/// Max-min invariants for a solved flow set: per-channel sum of rates
+/// within capacity (relative eps), and every finite-rate flow bottlenecked
+/// by at least one saturated channel on its path where no co-flow gets
+/// more than it does.
+[[nodiscard]] OracleResult check_flow_invariants(
+    const sim::FlowSim& fs, std::span<const sim::Flow> flows,
+    std::span<const double> rates);
+
+// --- scenario oracles ------------------------------------------------------
+
+struct OracleEntry {
+  const char* name;
+  OracleResult (*fn)(const Scenario&);
+};
+
+/// The registry, in execution order.
+[[nodiscard]] std::span<const OracleEntry> all_oracles();
+
+/// Runs one oracle, converting any escaped exception into a failure.
+[[nodiscard]] OracleResult run_oracle(const OracleEntry& oracle,
+                                      const Scenario& scenario);
+
+/// Verdict of a full oracle pass over one scenario.
+struct ScenarioVerdict {
+  bool pass = true;
+  std::string oracle;  // first failing oracle name
+  std::string detail;
+  std::int32_t oracles_run = 0;
+};
+
+[[nodiscard]] ScenarioVerdict run_all_oracles(const Scenario& scenario);
+
+}  // namespace hxsim::audit

@@ -1,0 +1,162 @@
+#include "audit/shrink.hpp"
+
+#include <algorithm>
+
+namespace hxsim::audit {
+
+namespace {
+
+/// Keeps `c` as a candidate iff it is structurally valid.  Reductions are
+/// generated blind (e.g. arity-1 may stop dividing the taper); validation
+/// is the single source of truth on what is buildable.
+void push_if_valid(std::vector<Scenario>& out, Scenario c) {
+  try {
+    validate_scenario(c);
+  } catch (const std::exception&) {
+    return;
+  }
+  out.push_back(std::move(c));
+}
+
+void hyperx_candidates(const Scenario& s, std::vector<Scenario>& out) {
+  const std::vector<std::int32_t>& dims = s.hyperx.dims;
+  const bool parx = s.engine == "parx";  // needs exactly 2 even dims
+
+  // Drop the last dimension entirely.
+  if (!parx && dims.size() > 1) {
+    Scenario c = s;
+    c.hyperx.dims.pop_back();
+    push_if_valid(out, std::move(c));
+  }
+  // Shrink the largest dimension (by 2 for PARX to stay even).
+  if (!dims.empty()) {
+    const std::size_t widest = static_cast<std::size_t>(
+        std::max_element(dims.begin(), dims.end()) - dims.begin());
+    const std::int32_t step = parx ? 2 : 1;
+    if (dims[widest] - step >= 2) {
+      Scenario c = s;
+      c.hyperx.dims[widest] -= step;
+      push_if_valid(out, std::move(c));
+    }
+  }
+  if (s.hyperx.terminals_per_switch > 1) {
+    Scenario c = s;
+    --c.hyperx.terminals_per_switch;
+    push_if_valid(out, std::move(c));
+  }
+}
+
+void fat_tree_candidates(const Scenario& s, std::vector<Scenario>& out) {
+  if (s.fat_tree.levels > 2) {
+    Scenario c = s;
+    --c.fat_tree.levels;
+    if (c.fat_tree.populated_leaves > 0) c.fat_tree.populated_leaves = -1;
+    push_if_valid(out, std::move(c));
+  }
+  if (s.fat_tree.arity > 2) {
+    Scenario c = s;
+    --c.fat_tree.arity;
+    // The taper must divide the arity; fall back to no taper if the
+    // reduced arity breaks that.
+    if (c.fat_tree.taper > 1 && c.fat_tree.arity % c.fat_tree.taper != 0)
+      c.fat_tree.taper = 1;
+    c.fat_tree.leaf_terminals =
+        std::min(c.fat_tree.leaf_terminals, c.fat_tree.arity);
+    if (c.fat_tree.populated_leaves > 0) c.fat_tree.populated_leaves = -1;
+    push_if_valid(out, std::move(c));
+  }
+  if (s.fat_tree.taper > 1) {
+    Scenario c = s;
+    c.fat_tree.taper = 1;
+    push_if_valid(out, std::move(c));
+  }
+  if (s.fat_tree.populated_leaves > 1) {
+    Scenario c = s;
+    --c.fat_tree.populated_leaves;
+    push_if_valid(out, std::move(c));
+  }
+  if (s.fat_tree.leaf_terminals > 1) {
+    Scenario c = s;
+    --c.fat_tree.leaf_terminals;
+    push_if_valid(out, std::move(c));
+  }
+}
+
+}  // namespace
+
+std::vector<Scenario> shrink_candidates(const Scenario& s) {
+  std::vector<Scenario> out;
+
+  // Structural shrinks first: a smaller fabric or fewer fault stages
+  // shrinks every downstream artifact (tables, censuses, traces) at once.
+  if (s.kind == TopoKind::kHyperX) {
+    hyperx_candidates(s, out);
+  } else {
+    fat_tree_candidates(s, out);
+  }
+
+  if (s.faults.stages > 0) {
+    Scenario c = s;
+    --c.faults.stages;
+    if (c.faults.stages == 0) {
+      c.faults.links_per_stage = 0;
+      c.faults.switches_per_stage = 0;
+    }
+    push_if_valid(out, std::move(c));
+  }
+  if (s.faults.switches_per_stage > 0) {
+    Scenario c = s;
+    --c.faults.switches_per_stage;
+    if (c.faults.switches_per_stage == 0 && c.faults.links_per_stage == 0)
+      c.faults.links_per_stage = 1;
+    push_if_valid(out, std::move(c));
+  }
+  if (s.faults.links_per_stage > 1) {
+    Scenario c = s;
+    --c.faults.links_per_stage;
+    push_if_valid(out, std::move(c));
+  }
+
+  // Load shrinks.
+  if (s.traffic.messages != workloads::kAutoMessages &&
+      s.traffic.messages > 1) {
+    Scenario c = s;
+    c.traffic.messages = s.traffic.messages / 2;
+    push_if_valid(out, std::move(c));
+  }
+  if (s.traffic.bytes > 256) {
+    Scenario c = s;
+    c.traffic.bytes = std::max<std::int64_t>(256, s.traffic.bytes / 2);
+    push_if_valid(out, std::move(c));
+  }
+  if (s.flow_pairs > 1) {
+    Scenario c = s;
+    c.flow_pairs = s.flow_pairs / 2;
+    push_if_valid(out, std::move(c));
+  }
+  return out;
+}
+
+ShrinkOutcome shrink(const Scenario& failing,
+                     const std::function<bool(const Scenario&)>& still_fails,
+                     std::int32_t max_attempts) {
+  ShrinkOutcome outcome;
+  outcome.scenario = failing;
+  bool progressed = true;
+  while (progressed && outcome.attempts < max_attempts) {
+    progressed = false;
+    for (Scenario& candidate : shrink_candidates(outcome.scenario)) {
+      if (outcome.attempts >= max_attempts) break;
+      ++outcome.attempts;
+      if (still_fails(candidate)) {
+        outcome.scenario = std::move(candidate);
+        ++outcome.steps;
+        progressed = true;
+        break;  // restart from the reduced scenario
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace hxsim::audit

@@ -1,0 +1,42 @@
+// Greedy scenario shrinking: when an oracle fails, minimise the scenario
+// while the failure still reproduces, so the repro a human debugs is a
+// 2x2 lattice with one fault stage instead of a 6x4x3 with three.
+//
+// shrink() is classic delta-debugging greed: generate one-step reductions
+// (drop a dimension, halve the message count, remove a fault stage, ...),
+// keep the first reduction on which `still_fails` returns true, repeat
+// from there until no reduction reproduces or the attempt budget runs
+// out.  Termination is structural -- every candidate strictly reduces a
+// positive integral size measure -- and determinism follows from the
+// candidate order being fixed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "audit/scenario.hpp"
+
+namespace hxsim::audit {
+
+/// All one-step reductions of `s` that pass validate_scenario(), in a
+/// fixed preference order (structural shrinks -- fabric dims, fault
+/// stages -- before load shrinks -- messages, bytes, flow pairs).
+[[nodiscard]] std::vector<Scenario> shrink_candidates(const Scenario& s);
+
+struct ShrinkOutcome {
+  Scenario scenario;          // smallest still-failing scenario found
+  std::int32_t steps = 0;     // accepted reductions
+  std::int32_t attempts = 0;  // predicate evaluations spent
+};
+
+/// Greedily minimises `failing` under `still_fails` (which must return
+/// true for `failing` itself; shrink() does not re-check it).  Each
+/// predicate call typically replays every oracle, so `max_attempts`
+/// bounds total shrink cost.
+[[nodiscard]] ShrinkOutcome shrink(
+    const Scenario& failing,
+    const std::function<bool(const Scenario&)>& still_fails,
+    std::int32_t max_attempts = 200);
+
+}  // namespace hxsim::audit

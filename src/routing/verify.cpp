@@ -1,6 +1,7 @@
 #include "routing/verify.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_set>
 #include <utility>
 
@@ -59,17 +60,28 @@ CdgReport verify_deadlock_freedom(const topo::Topology& topo,
 }
 
 PathCensus route_census(const topo::Topology& topo, const LidSpace& lids,
-                        const ForwardingTables& tables, std::int32_t threads) {
+                        const ForwardingTables& tables,
+                        std::span<const char> terminals,
+                        std::int32_t threads) {
   const std::int32_t n = topo.num_terminals();
+  if (!terminals.empty() &&
+      terminals.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument(
+        "route_census: terminal mask must be empty or one entry per "
+        "terminal");
   const std::int32_t per_terminal = lids.lids_per_terminal();
 
   exec::ThreadPool pool(threads);
   exec::ScratchArena<PathCensus> partials(pool);
   pool.parallel_for(n, [&](std::int64_t src64, std::int32_t worker) {
     const auto src = static_cast<topo::NodeId>(src64);
+    if (!terminals.empty() && !terminals[static_cast<std::size_t>(src)])
+      return;
     PathCensus& c = partials.local(worker);
     for (topo::NodeId dst = 0; dst < n; ++dst) {
       if (dst == src) continue;
+      if (!terminals.empty() && !terminals[static_cast<std::size_t>(dst)])
+        continue;
       ++c.pairs;
       std::int32_t best_hops = -1;
       for (std::int32_t x = 0; x < per_terminal; ++x) {
@@ -106,6 +118,12 @@ PathCensus route_census(const topo::Topology& topo, const LidSpace& lids,
     total.max_switch_hops = std::max(total.max_switch_hops, c.max_switch_hops);
   }
   return total;
+}
+
+PathCensus route_census(const topo::Topology& topo, const LidSpace& lids,
+                        const ForwardingTables& tables,
+                        std::int32_t threads) {
+  return route_census(topo, lids, tables, {}, threads);
 }
 
 RouteAudit audit_route(const topo::Topology& topo, const LidSpace& lids,

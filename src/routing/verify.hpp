@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "routing/engine.hpp"
@@ -74,6 +75,16 @@ struct PathCensus {
 [[nodiscard]] PathCensus route_census(const topo::Topology& topo,
                                       const LidSpace& lids,
                                       const ForwardingTables& tables,
+                                      std::int32_t threads = 0);
+
+/// Census restricted to a terminal subset: pairs are counted only when
+/// both endpoints have a non-zero mask entry (empty mask = all terminals).
+/// The degraded-fabric form -- terminals on dead switches are excluded, so
+/// "no lost pairs" asserts exactly the connectivity the fabric still owes.
+[[nodiscard]] PathCensus route_census(const topo::Topology& topo,
+                                      const LidSpace& lids,
+                                      const ForwardingTables& tables,
+                                      std::span<const char> terminals,
                                       std::int32_t threads = 0);
 
 struct RouteAudit {

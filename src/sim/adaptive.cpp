@@ -23,7 +23,8 @@ DalRouter::DalRouter(const topo::HyperX& hx, bool allow_deroute)
 
 void DalRouter::candidates(topo::SwitchId sw, topo::NodeId dst,
                            AdaptiveState& state,
-                           std::vector<RouteCandidate>& out) const {
+                           std::vector<RouteCandidate>& out,
+                           stats::Rng& /*rng*/) const {
   const topo::SwitchId target = hx_->topo().attach_switch(dst);
   for (std::int8_t d = 0; d < hx_->num_dims(); ++d) {
     const std::int32_t own = hx_->coord(sw, d);
@@ -64,7 +65,7 @@ std::int32_t DalRouter::max_hops() const {
 }
 
 ValiantRouter::ValiantRouter(const topo::HyperX& hx, std::uint64_t seed)
-    : hx_(&hx), rng_(seed) {}
+    : hx_(&hx), seed_(seed) {}
 
 void ValiantRouter::minimal_toward(topo::SwitchId sw, topo::SwitchId target,
                                    std::vector<RouteCandidate>& out) const {
@@ -80,11 +81,12 @@ void ValiantRouter::minimal_toward(topo::SwitchId sw, topo::SwitchId target,
 
 void ValiantRouter::candidates(topo::SwitchId sw, topo::NodeId dst,
                                AdaptiveState& state,
-                               std::vector<RouteCandidate>& out) const {
+                               std::vector<RouteCandidate>& out,
+                               stats::Rng& rng) const {
   constexpr std::int32_t kPhaseTwo = -2;
   if (state.scratch == -1) {
     // First switch: draw the intermediate uniformly over all switches.
-    state.scratch = static_cast<std::int32_t>(rng_.next_below(
+    state.scratch = static_cast<std::int32_t>(rng.next_below(
         static_cast<std::uint64_t>(hx_->topo().num_switches())));
   }
   if (state.scratch >= 0 && state.scratch == sw)

@@ -59,9 +59,14 @@ class AdaptiveRouter {
   /// terminal `dst`.  Never called when dst is attached to `sw` (ejection
   /// is unconditional).  `state` is the packet's history; routers may use
   /// its scratch field for per-packet decisions (e.g. VAL's intermediate).
+  /// `rng` is the *engine-owned* per-run generator (seeded from rng_seed()
+  /// and the replication index): randomized routers draw from it instead of
+  /// holding mutable state, which keeps the router itself immutable and
+  /// every replication reproducible from its seed alone.
   virtual void candidates(topo::SwitchId sw, topo::NodeId dst,
                           AdaptiveState& state,
-                          std::vector<RouteCandidate>& out) const = 0;
+                          std::vector<RouteCandidate>& out,
+                          stats::Rng& rng) const = 0;
 
   /// Called when a candidate was chosen; updates the packet state.
   virtual void on_hop(const RouteCandidate& chosen,
@@ -70,11 +75,19 @@ class AdaptiveRouter {
   /// Upper bound on hops (for VL escalation); must be <= available VLs.
   [[nodiscard]] virtual std::int32_t max_hops() const = 0;
 
+  /// Base seed for the engine's per-run candidate rng.  A run with
+  /// replication index r draws from Rng(rng_seed() ^ (r * golden-ratio)),
+  /// so run() (r = 0) reproduces the historical Rng(seed) stream exactly
+  /// and every run_batch replication gets an independent, index-derived
+  /// stream.  Deterministic routers may leave the default.
+  [[nodiscard]] virtual std::uint64_t rng_seed() const noexcept { return 0; }
+
   /// True when candidates()/on_hop() leave the router itself unchanged, so
   /// many engine instances may drive one router concurrently and replication
   /// results are independent of execution order.  PktSim::run_batch and the
-  /// workloads packet sweep require this.  Routers with mutable internal
-  /// state (ValiantRouter's intermediate-draw RNG) must return false.
+  /// workloads packet sweep require this.  All in-tree routers qualify
+  /// (ValiantRouter draws from the engine-supplied rng); a custom router
+  /// with mutable internal state must return false.
   [[nodiscard]] virtual bool replicable() const noexcept { return true; }
 };
 
@@ -91,7 +104,8 @@ class DalRouter final : public AdaptiveRouter {
 
   void candidates(topo::SwitchId sw, topo::NodeId dst,
                   AdaptiveState& state,
-                  std::vector<RouteCandidate>& out) const override;
+                  std::vector<RouteCandidate>& out,
+                  stats::Rng& rng) const override;
   void on_hop(const RouteCandidate& chosen,
               AdaptiveState& state) const override;
   [[nodiscard]] std::int32_t max_hops() const override;
@@ -120,13 +134,16 @@ class ValiantRouter final : public AdaptiveRouter {
 
   void candidates(topo::SwitchId sw, topo::NodeId dst,
                   AdaptiveState& state,
-                  std::vector<RouteCandidate>& out) const override;
+                  std::vector<RouteCandidate>& out,
+                  stats::Rng& rng) const override;
   void on_hop(const RouteCandidate& chosen,
               AdaptiveState& state) const override;
   [[nodiscard]] std::int32_t max_hops() const override;
-  /// The shared RNG advances on every first-hop candidates() call, so
-  /// concurrent replications would race (and reorder draws even serially).
-  [[nodiscard]] bool replicable() const noexcept override { return false; }
+  /// Intermediate draws come from the engine-owned per-run rng seeded from
+  /// this value, so the router is immutable and replications independent.
+  [[nodiscard]] std::uint64_t rng_seed() const noexcept override {
+    return seed_;
+  }
 
  private:
   /// Minimal candidates from `sw` toward `target` (per unaligned dim).
@@ -134,7 +151,7 @@ class ValiantRouter final : public AdaptiveRouter {
                       std::vector<RouteCandidate>& out) const;
 
   const topo::HyperX* hx_;
-  mutable stats::Rng rng_;  // per-packet intermediate draws
+  std::uint64_t seed_;  // base seed for per-packet intermediate draws
 };
 
 }  // namespace hxsim::sim

@@ -108,6 +108,12 @@ class FlowSim {
       std::span<const Flow> flows,
       obs::FlowSolveTrace* trace = nullptr) const;
 
+  /// Capacity (bytes/s) of one channel -- the denominator of the max-min
+  /// invariants (sum of rates on a channel may not exceed this).
+  [[nodiscard]] double capacity(topo::ChannelId ch) const {
+    return capacity_[static_cast<std::size_t>(ch)];
+  }
+
  private:
   /// Degraded-fabric guard shared by the public entry points: throws
   /// std::invalid_argument (naming the flow index) when a flow crosses a

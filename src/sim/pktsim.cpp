@@ -101,6 +101,19 @@ using detail::VlFifo;
                               why);
 }
 
+/// Seed for the engine-owned adaptive-candidate rng.  Replication 0 maps
+/// to the router's base seed unchanged, so a plain run() reproduces the
+/// historical ValiantRouter stream bit-for-bit; every other replication
+/// gets an independent golden-ratio-offset stream derived from its index
+/// alone, which is what makes randomized routers replicable under
+/// run_batch (no shared mutable state, no order dependence).
+std::uint64_t candidate_rng_seed(const PktSimConfig& config,
+                                 std::uint64_t replication) {
+  const std::uint64_t base =
+      config.adaptive != nullptr ? config.adaptive->rng_seed() : 0;
+  return base ^ (0x9e3779b97f4a7c15ULL * replication);
+}
+
 /// Static paths are walked blindly by arrive() (`++p.hop`), so anything
 /// not ending in the destination's switch->terminal channel used to
 /// index past the end of the path.  Reject malformed paths up front.
@@ -164,8 +177,10 @@ struct RefChannelState {
 class ReferenceEngine {
  public:
   ReferenceEngine(const topo::Topology& topo, const PktSimConfig& config,
-                  obs::PktTrace* trace, std::span<const PktMessage> messages)
-      : topo_(topo), config_(config), messages_(messages), trace_(trace) {
+                  obs::PktTrace* trace, std::span<const PktMessage> messages,
+                  std::uint64_t replication = 0)
+      : topo_(topo), config_(config), messages_(messages), trace_(trace),
+        rng_(candidate_rng_seed(config, replication)) {
     channels_.resize(static_cast<std::size_t>(topo.num_channels()));
     for (topo::ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
       RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
@@ -366,7 +381,8 @@ class ReferenceEngine {
   topo::ChannelId choose_adaptive(topo::SwitchId sw, RefPacket& p) {
     const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
     scratch_candidates_.clear();
-    config_.adaptive->candidates(sw, msg.dst, p.astate, scratch_candidates_);
+    config_.adaptive->candidates(sw, msg.dst, p.astate, scratch_candidates_,
+                                 rng_);
     if (scratch_candidates_.empty())
       throw std::runtime_error("PktSim: adaptive router returned no route");
 
@@ -431,6 +447,7 @@ class ReferenceEngine {
   std::vector<std::int64_t> remaining_packets_;
   std::vector<RouteCandidate> scratch_candidates_;
   obs::PktTrace* trace_ = nullptr;  // nullptr: tracing off (the default)
+  stats::Rng rng_;  // per-run adaptive-candidate stream
   PktSim::Result result_;
 };
 
@@ -448,9 +465,10 @@ class TypedEngine {
  public:
   TypedEngine(const topo::Topology& topo, const PktSimConfig& config,
               obs::PktTrace* trace, std::span<const PktMessage> messages,
-              PktScratch& s)
+              PktScratch& s, std::uint64_t replication = 0)
       : topo_(topo), config_(config), messages_(messages), s_(s),
-        trace_(trace), num_vls_(config.num_vls) {
+        trace_(trace), num_vls_(config.num_vls),
+        rng_(candidate_rng_seed(config, replication)) {
     const auto nch = static_cast<std::size_t>(topo.num_channels());
     const std::size_t nchvl = nch * static_cast<std::size_t>(num_vls_);
     s_.events.reset();
@@ -712,7 +730,7 @@ class TypedEngine {
   topo::ChannelId choose_adaptive(topo::SwitchId sw, PktNode& p) {
     const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
     s_.candidates.clear();
-    config_.adaptive->candidates(sw, msg.dst, p.astate, s_.candidates);
+    config_.adaptive->candidates(sw, msg.dst, p.astate, s_.candidates, rng_);
     if (s_.candidates.empty())
       throw std::runtime_error("PktSim: adaptive router returned no route");
 
@@ -779,6 +797,7 @@ class TypedEngine {
   PktScratch& s_;
   obs::PktTrace* trace_ = nullptr;
   std::int32_t num_vls_;
+  stats::Rng rng_;  // per-run adaptive-candidate stream
   std::int32_t pool_used_ = 0;
   PktSim::Result result_;
 };
@@ -804,12 +823,15 @@ PktSim::PktSim(PktSim&&) noexcept = default;
 PktSim& PktSim::operator=(PktSim&&) noexcept = default;
 
 PktSim::Result PktSim::run(std::span<const PktMessage> messages,
-                           std::size_t max_events) {
+                           std::size_t max_events,
+                           std::uint64_t replication) {
   if (config_.engine == PktSimConfig::Engine::kReference) {
-    ReferenceEngine engine(*topo_, config_, config_.trace, messages);
+    ReferenceEngine engine(*topo_, config_, config_.trace, messages,
+                           replication);
     return engine.run(max_events);
   }
-  TypedEngine engine(*topo_, config_, config_.trace, messages, *scratch_);
+  TypedEngine engine(*topo_, config_, config_.trace, messages, *scratch_,
+                     replication);
   return engine.run(max_events);
 }
 
@@ -826,9 +848,11 @@ std::vector<PktSim::Result> PktSim::run_batch(
         "PktSim::run_batch: traces must be empty or match replications");
   if (config_.adaptive != nullptr && !config_.adaptive->replicable())
     throw std::invalid_argument(
-        "PktSim::run_batch: adaptive router is not replicable (its internal "
-        "state would make results depend on execution order); run each "
-        "replication through run() with its own router instance");
+        "PktSim::run_batch: adaptive router reports replicable() == false "
+        "(mutable router state would make results depend on execution "
+        "order); draw randomness from the engine-supplied rng via "
+        "rng_seed() instead, or run each replication through run() with "
+        "its own router instance");
 
   exec::ThreadPool pool(threads);
   const auto workers = static_cast<std::size_t>(pool.num_threads());
@@ -844,12 +868,15 @@ std::vector<PktSim::Result> PktSim::run_batch(
         obs::PktTrace* trace =
             traces.empty() ? nullptr : traces[static_cast<std::size_t>(i)];
         const auto& messages = replications[static_cast<std::size_t>(i)];
+        const auto replication = static_cast<std::uint64_t>(i);
         if (config_.engine == PktSimConfig::Engine::kReference) {
-          ReferenceEngine engine(*topo_, config_, trace, messages);
+          ReferenceEngine engine(*topo_, config_, trace, messages,
+                                 replication);
           results[static_cast<std::size_t>(i)] = engine.run(max_events);
         } else {
           TypedEngine engine(*topo_, config_, trace, messages,
-                             *batch_scratch_[static_cast<std::size_t>(worker)]);
+                             *batch_scratch_[static_cast<std::size_t>(worker)],
+                             replication);
           results[static_cast<std::size_t>(i)] = engine.run(max_events);
         }
       });

@@ -134,19 +134,27 @@ class PktSim {
   /// Runs all messages to completion (or deadlock).  `max_events` guards
   /// against runaway simulations.  Engine scratch (event heap, packet
   /// pool, channel arrays) persists in this PktSim, so repeated runs on a
-  /// warm instance allocate only the returned Result.
+  /// warm instance allocate only the returned Result.  `replication` picks
+  /// the randomized-router stream: the engine owns a per-run stats::Rng
+  /// seeded from AdaptiveRouter::rng_seed() and this index, so
+  /// run(msgs, n, r) reproduces run_batch replication r exactly and the
+  /// default index 0 reproduces the historical single-run stream.
   [[nodiscard]] Result run(std::span<const PktMessage> messages,
-                           std::size_t max_events = SIZE_MAX);
+                           std::size_t max_events = SIZE_MAX,
+                           std::uint64_t replication = 0);
 
   /// Runs each replication's message set on its own engine instance,
   /// fanned across `threads` workers (0: exec::default_threads()).  Every
-  /// replication is simulated exactly as a run() call would, with
-  /// per-worker scratch, so the result vector is bit-identical to a serial
-  /// run() loop at any thread count.  `traces`, when non-empty, supplies
-  /// one obs::PktTrace* per replication (entries may be nullptr).  Throws
-  /// std::invalid_argument when config.trace is set (a shared sink would
-  /// race across workers) or when the adaptive router is not replicable()
-  /// (ValiantRouter's RNG would make results order-dependent).
+  /// replication i is simulated exactly as run(replications[i], max_events,
+  /// i) would be, with per-worker scratch, so the result vector is
+  /// bit-identical to a serial run() loop at any thread count -- including
+  /// randomized routers, whose per-replication rng stream is derived from
+  /// the index, not drawn from shared state.  `traces`, when non-empty,
+  /// supplies one obs::PktTrace* per replication (entries may be nullptr).
+  /// Throws std::invalid_argument when config.trace is set (a shared sink
+  /// would race across workers) or when the adaptive router reports
+  /// replicable() == false (mutable router state would make results depend
+  /// on execution order).
   [[nodiscard]] std::vector<Result> run_batch(
       std::span<const std::vector<PktMessage>> replications,
       std::int32_t threads = 0,

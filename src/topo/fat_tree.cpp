@@ -24,6 +24,53 @@ FatTreeParams small_fat_tree_params() {
   return p;
 }
 
+FatTreeParams random_fat_tree_params(stats::Rng& rng,
+                                     std::int32_t max_switches,
+                                     std::int32_t max_terminals) {
+  if (max_switches < 4 || max_terminals < 2)
+    throw std::invalid_argument(
+        "random_fat_tree_params: bounds leave no valid shape");
+  FatTreeParams p;
+  p.levels = 2 + static_cast<std::int32_t>(rng.next_below(2));
+  // Largest arity whose k-ary n-tree (n * k^(n-1) switches) fits.
+  auto switches_of = [](std::int32_t k, std::int32_t n) {
+    std::int64_t s = n;
+    for (std::int32_t i = 0; i + 1 < n; ++i) s *= k;
+    return s;
+  };
+  std::int32_t max_arity = 0;
+  for (std::int32_t k = 2; k <= 8; ++k)
+    if (switches_of(k, p.levels) <= max_switches) max_arity = k;
+  if (max_arity < 2) {
+    p.levels = 2;
+    max_arity = std::min<std::int32_t>(8, max_switches / 2);
+  }
+  p.arity = 2 + static_cast<std::int32_t>(rng.next_below(
+                    static_cast<std::uint64_t>(max_arity - 1)));
+  // Taper 2 (the paper's 2:1 oversubscription) half the time it divides.
+  p.taper = (p.arity % 2 == 0 && rng.next_below(2) == 0) ? 2 : 1;
+
+  std::int32_t leaves = 1;
+  for (std::int32_t i = 0; i + 1 < p.levels; ++i) leaves *= p.arity;
+  const std::int32_t lt_cap = std::max<std::int32_t>(
+      1, std::min<std::int32_t>(p.arity, max_terminals / leaves));
+  p.leaf_terminals = 1 + static_cast<std::int32_t>(rng.next_below(
+                             static_cast<std::uint64_t>(lt_cap)));
+  // A quarter of the shapes use the paper's part-populated situation.
+  p.populated_leaves =
+      rng.next_below(4) == 0
+          ? 1 + static_cast<std::int32_t>(rng.next_below(
+                    static_cast<std::uint64_t>(leaves)))
+          : -1;
+  // At least two terminals total, or there is no traffic to generate.
+  const std::int32_t populated =
+      p.populated_leaves < 0 ? leaves : p.populated_leaves;
+  if (populated * p.leaf_terminals < 2)
+    p.leaf_terminals = std::min<std::int32_t>(2, p.arity);
+  p.name = "fuzz-fat-tree";
+  return p;
+}
+
 FatTree::FatTree(const FatTreeParams& params)
     : params_(params), topo_(params.name) {
   const std::int32_t k = params_.arity;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/rng.hpp"
 #include "topo/topology.hpp"
 
 namespace hxsim::topo {
@@ -41,6 +42,15 @@ struct FatTreeParams {
 
 /// Figure 2a configuration: 4-ary 2-tree with 16 nodes.
 [[nodiscard]] FatTreeParams small_fat_tree_params();
+
+/// Random valid 2/3-level (possibly tapered, possibly part-populated)
+/// shape within the bounds, for the fuzz-audit scenario generator:
+/// levels * arity^(levels-1) switches <= max_switches, total terminals
+/// >= 2 and bounded by max_terminals (up to the >= 2 floor), taper drawn
+/// from the divisors of the arity.  Deterministic in the rng state.
+[[nodiscard]] FatTreeParams random_fat_tree_params(stats::Rng& rng,
+                                                   std::int32_t max_switches,
+                                                   std::int32_t max_terminals);
 
 class FatTree {
  public:

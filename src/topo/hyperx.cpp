@@ -22,6 +22,47 @@ HyperXParams small_hyperx_params() {
   return p;
 }
 
+HyperXParams random_hyperx_params(stats::Rng& rng,
+                                  std::int32_t max_switches,
+                                  std::int32_t max_terminals,
+                                  bool even_dims) {
+  if (max_switches < 4 || max_terminals < 2)
+    throw std::invalid_argument(
+        "random_hyperx_params: bounds leave no valid shape");
+  HyperXParams p;
+  p.dims.clear();
+  const std::int32_t want_dims =
+      even_dims ? 2 : 1 + static_cast<std::int32_t>(rng.next_below(3));
+  std::int32_t product = 1;
+  for (std::int32_t d = 0; d < want_dims; ++d) {
+    // Keep room for the remaining dimensions (each needs size >= 2).
+    std::int32_t cap = max_switches / product;
+    for (std::int32_t rest = d + 1; rest < want_dims; ++rest) cap /= 2;
+    if (cap < 2) break;
+    std::int32_t lo = 2;
+    std::int32_t hi = std::min<std::int32_t>(cap, 6);
+    std::int32_t size =
+        lo + static_cast<std::int32_t>(
+                 rng.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+    if (even_dims) size &= ~1;  // round down to even (>= 2 by bounds)
+    p.dims.push_back(size);
+    product *= size;
+  }
+  if (p.dims.empty() || (even_dims && p.dims.size() != 2)) {
+    p.dims = {2, 2};
+    product = 4;
+  }
+  const std::int32_t t_cap = std::max<std::int32_t>(
+      1, std::min<std::int32_t>(4, max_terminals / product));
+  p.terminals_per_switch =
+      1 + static_cast<std::int32_t>(
+              rng.next_below(static_cast<std::uint64_t>(t_cap)));
+  // At least two terminals total, or there is no traffic to generate.
+  if (product * p.terminals_per_switch < 2) p.terminals_per_switch = 2;
+  p.name = "fuzz-hyperx";
+  return p;
+}
+
 HyperX::HyperX(const HyperXParams& params)
     : params_(params), topo_(params.name) {
   if (params_.dims.empty())

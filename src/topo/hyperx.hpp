@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/rng.hpp"
 #include "topo/topology.hpp"
 
 namespace hxsim::topo {
@@ -26,6 +27,16 @@ struct HyperXParams {
 
 /// Figure 2b configuration: 4x4 with 2 nodes per switch (32 nodes).
 [[nodiscard]] HyperXParams small_hyperx_params();
+
+/// Random valid lattice shape within the bounds, for the fuzz-audit
+/// scenario generator: 1-3 dimensions of size >= 2 whose product stays
+/// <= max_switches, and >= 1 terminal per switch with the fabric total
+/// <= max_terminals.  Deterministic in the rng state.  `even_dims` forces
+/// exactly two even-sized dimensions (the PARX precondition).
+[[nodiscard]] HyperXParams random_hyperx_params(stats::Rng& rng,
+                                                std::int32_t max_switches,
+                                                std::int32_t max_terminals,
+                                                bool even_dims = false);
 
 class HyperX {
  public:

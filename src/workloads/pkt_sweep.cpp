@@ -55,6 +55,23 @@ std::vector<sim::PktMessage> build_pkt_messages(const topo::Topology& topo,
     throw std::invalid_argument("pkt_sweep: static arm needs lids");
 
   const auto n = static_cast<std::uint64_t>(topo.num_terminals());
+
+  // Resolve the message count up front so an unsatisfiable spec throws
+  // instead of silently emitting a different count than requested (kShift
+  // used to ignore spec.messages entirely).
+  std::int32_t messages = spec.messages;
+  if (messages == kAutoMessages)
+    messages = spec.pattern == PktPattern::kShift
+                   ? static_cast<std::int32_t>(n)
+                   : 256;
+  if (messages <= 0)
+    throw std::invalid_argument("pkt_sweep: messages must be positive");
+  if (spec.pattern == PktPattern::kShift &&
+      messages != static_cast<std::int32_t>(n))
+    throw std::invalid_argument(
+        "pkt_sweep: kShift sends exactly one message per terminal (" +
+        std::to_string(n) + "); leave messages = kAutoMessages or set it "
+        "to the terminal count");
   // Jittered injection de-synchronises the senders a little, as real NICs
   // are; the window is tiny next to any serialization time.
   stats::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
@@ -62,8 +79,8 @@ std::vector<sim::PktMessage> build_pkt_messages(const topo::Topology& topo,
 
   switch (spec.pattern) {
     case PktPattern::kUniformRandom:
-      msgs.reserve(static_cast<std::size_t>(spec.messages));
-      while (static_cast<std::int32_t>(msgs.size()) < spec.messages) {
+      msgs.reserve(static_cast<std::size_t>(messages));
+      while (static_cast<std::int32_t>(msgs.size()) < messages) {
         const auto src = static_cast<topo::NodeId>(rng.next_below(n));
         const auto dst = static_cast<topo::NodeId>(rng.next_below(n));
         if (src == dst) continue;
@@ -85,8 +102,8 @@ std::vector<sim::PktMessage> build_pkt_messages(const topo::Topology& topo,
     }
     case PktPattern::kHotspot: {
       const auto hot = static_cast<topo::NodeId>(rng.next_below(n));
-      msgs.reserve(static_cast<std::size_t>(spec.messages));
-      while (static_cast<std::int32_t>(msgs.size()) < spec.messages) {
+      msgs.reserve(static_cast<std::size_t>(messages));
+      while (static_cast<std::int32_t>(msgs.size()) < messages) {
         const auto src = static_cast<topo::NodeId>(rng.next_below(n));
         if (src == hot) continue;
         msgs.push_back(make_message(topo, arm, src, hot, spec.bytes,
@@ -136,6 +153,7 @@ std::vector<PktReplicationResult> run_pkt_sweep(
         rep.pattern = spec.pattern;
         rep.seed = static_cast<std::uint64_t>(s);
         rep.deadlock = r.deadlock;
+        rep.truncated = r.truncated;
         rep.end_time = r.end_time;
         rep.packets_delivered = r.packets_delivered;
         rep.packets_total = r.packets_total;

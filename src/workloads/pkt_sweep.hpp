@@ -32,10 +32,18 @@ enum class PktPattern : std::int8_t {
 
 [[nodiscard]] const char* to_string(PktPattern pattern);
 
+/// PktPatternSpec::messages sentinel: the pattern's natural count (256 for
+/// kUniformRandom/kHotspot, the terminal count N for kShift).
+inline constexpr std::int32_t kAutoMessages = -1;
+
 struct PktPatternSpec {
   PktPattern pattern = PktPattern::kUniformRandom;
-  /// Message count for kUniformRandom / kHotspot (kShift sends N messages).
-  std::int32_t messages = 256;
+  /// Message count.  kAutoMessages resolves per pattern; an explicit value
+  /// must be positive, and for kShift must equal the terminal count N (the
+  /// pattern is one send per terminal by construction) --
+  /// build_pkt_messages throws on a count the pattern cannot honor rather
+  /// than silently emitting a different one.
+  std::int32_t messages = kAutoMessages;
   /// kShift only: the shift distance r in dst = (src + r) mod N.
   std::int32_t shift = 1;
   std::int64_t bytes = 64 * 1024;  // per message
@@ -57,6 +65,10 @@ struct PktReplicationResult {
   PktPattern pattern = PktPattern::kUniformRandom;
   std::uint64_t seed = 0;
   bool deadlock = false;
+  /// The replication hit PktSweepOptions::max_events before completing:
+  /// the run is incomplete but NOT deadlocked.  Mutually exclusive with
+  /// `deadlock`.
+  bool truncated = false;
   double end_time = 0.0;
   /// Mean message completion time (NaN when nothing completed).
   double mean_completion = 0.0;

@@ -1,0 +1,466 @@
+// Fuzz-audit subsystem: scenario generation determinism, repro round-trip,
+// greedy shrinking, and -- most importantly -- proof that every granular
+// oracle *fails* on deliberately corrupted input.  An oracle that cannot
+// reject anything verifies nothing; these tests are the oracles' oracles.
+//
+// Also the regression home for the three satellite fixes that shipped
+// with the harness: PktReplicationResult::truncated, ValiantRouter
+// replicability through run_pkt_sweep, and kShift message-count
+// validation in build_pkt_messages.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "audit/oracles.hpp"
+#include "audit/scenario.hpp"
+#include "audit/shrink.hpp"
+#include "obs/pkt_trace.hpp"
+#include "routing/updown.hpp"
+#include "routing/verify.hpp"
+#include "sim/adaptive.hpp"
+#include "sim/flowsim.hpp"
+#include "sim/pktsim.hpp"
+#include "topo/hyperx.hpp"
+#include "workloads/pkt_sweep.hpp"
+
+namespace hxsim {
+namespace {
+
+topo::HyperXParams tiny_hyperx() {
+  topo::HyperXParams p;
+  p.dims = {2, 2};
+  p.terminals_per_switch = 1;
+  return p;
+}
+
+struct SmallFabric {
+  topo::HyperX hx{tiny_hyperx()};
+  routing::LidSpace lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  routing::RouteResult route =
+      routing::UpDownEngine().compute(hx.topo(), lids);
+};
+
+std::vector<sim::PktMessage> small_messages(const SmallFabric& f) {
+  workloads::PktRoutingArm arm;
+  arm.name = "static";
+  arm.route = &f.route;
+  arm.lids = &f.lids;
+  workloads::PktPatternSpec spec;
+  spec.pattern = workloads::PktPattern::kShift;
+  spec.bytes = 8 * 1024;
+  return workloads::build_pkt_messages(f.hx.topo(), arm, spec, 7);
+}
+
+// --- satellite regressions -------------------------------------------------
+
+TEST(PktSweepRegression, TruncationSurfacesInReplicationResults) {
+  SmallFabric f;
+  const std::vector<workloads::PktRoutingArm> arms{
+      {"static", &f.route, &f.lids, nullptr}};
+  workloads::PktPatternSpec spec;
+  spec.pattern = workloads::PktPattern::kUniformRandom;
+  spec.messages = 32;
+  const std::vector<workloads::PktPatternSpec> patterns{spec};
+
+  workloads::PktSweepOptions opt;
+  opt.seeds = 2;
+  opt.threads = 1;
+  opt.max_events = 10;  // far too few events for 32 messages
+  const auto truncated =
+      workloads::run_pkt_sweep(f.hx.topo(), arms, patterns, opt);
+  ASSERT_FALSE(truncated.empty());
+  for (const auto& r : truncated) {
+    EXPECT_TRUE(r.truncated);
+    EXPECT_FALSE(r.deadlock);
+    EXPECT_LT(r.packets_delivered, r.packets_total);
+  }
+
+  opt.max_events = SIZE_MAX;
+  const auto complete =
+      workloads::run_pkt_sweep(f.hx.topo(), arms, patterns, opt);
+  for (const auto& r : complete) {
+    EXPECT_FALSE(r.truncated);
+    EXPECT_FALSE(r.deadlock);
+    EXPECT_EQ(r.packets_delivered, r.packets_total);
+  }
+}
+
+TEST(PktSweepRegression, ValiantArmIsThreadInvariantAcrossSeeds) {
+  SmallFabric f;
+  const sim::ValiantRouter valiant(f.hx, 11);
+  const std::vector<workloads::PktRoutingArm> arms{
+      {"valiant", nullptr, nullptr, &valiant}};
+  workloads::PktPatternSpec spec;
+  spec.pattern = workloads::PktPattern::kUniformRandom;
+  spec.messages = 24;
+  const std::vector<workloads::PktPatternSpec> patterns{spec};
+
+  workloads::PktSweepOptions opt;
+  opt.seeds = 4;
+  opt.threads = 1;
+  const auto serial = workloads::run_pkt_sweep(f.hx.topo(), arms, patterns, opt);
+  opt.threads = 4;
+  const auto parallel =
+      workloads::run_pkt_sweep(f.hx.topo(), arms, patterns, opt);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].end_time, parallel[i].end_time) << "replication " << i;
+    EXPECT_EQ(serial[i].mean_completion, parallel[i].mean_completion);
+    EXPECT_EQ(serial[i].events_executed, parallel[i].events_executed);
+    EXPECT_EQ(serial[i].truncated, parallel[i].truncated);
+    EXPECT_EQ(serial[i].deadlock, parallel[i].deadlock);
+  }
+}
+
+TEST(PktSweepRegression, ShiftMessageCountIsValidated) {
+  SmallFabric f;
+  workloads::PktRoutingArm arm{"static", &f.route, &f.lids, nullptr};
+  const std::int32_t n = f.hx.topo().num_terminals();
+
+  workloads::PktPatternSpec spec;
+  spec.pattern = workloads::PktPattern::kShift;
+
+  spec.messages = workloads::kAutoMessages;
+  EXPECT_EQ(workloads::build_pkt_messages(f.hx.topo(), arm, spec, 1).size(),
+            static_cast<std::size_t>(n));
+
+  spec.messages = n;  // explicit N is the one honorable explicit value
+  EXPECT_EQ(workloads::build_pkt_messages(f.hx.topo(), arm, spec, 1).size(),
+            static_cast<std::size_t>(n));
+
+  spec.messages = n - 1;
+  EXPECT_THROW(workloads::build_pkt_messages(f.hx.topo(), arm, spec, 1),
+               std::invalid_argument);
+  spec.messages = 0;
+  EXPECT_THROW(workloads::build_pkt_messages(f.hx.topo(), arm, spec, 1),
+               std::invalid_argument);
+
+  spec.pattern = workloads::PktPattern::kUniformRandom;
+  spec.messages = -7;  // any negative other than the sentinel is rejected
+  EXPECT_THROW(workloads::build_pkt_messages(f.hx.topo(), arm, spec, 1),
+               std::invalid_argument);
+}
+
+// --- scenario generation / repro -------------------------------------------
+
+TEST(Scenario, GenerationIsDeterministicAndValid) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const audit::Scenario a = audit::generate_scenario(seed);
+    const audit::Scenario b = audit::generate_scenario(seed);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_NO_THROW(audit::validate_scenario(a)) << "seed " << seed;
+  }
+  EXPECT_FALSE(audit::generate_scenario(1) == audit::generate_scenario(2));
+}
+
+TEST(Scenario, ReproRoundTripsExactly) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const audit::Scenario s = audit::generate_scenario(seed);
+    const std::string text = audit::to_repro(s);
+    const audit::Scenario parsed = audit::parse_repro(text);
+    EXPECT_EQ(s, parsed) << "seed " << seed;
+    EXPECT_EQ(text, audit::to_repro(parsed));
+  }
+}
+
+TEST(Scenario, ParseRejectsMalformedRepros) {
+  EXPECT_THROW((void)audit::parse_repro(""), std::invalid_argument);
+  EXPECT_THROW((void)audit::parse_repro("not-a-repro v1\nkind hyperx\n"),
+               std::invalid_argument);
+  const std::string good = audit::to_repro(audit::generate_scenario(3));
+  EXPECT_THROW((void)audit::parse_repro(good + "bogus_key 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, BuildsFabricsWithinBounds) {
+  const audit::ScenarioBounds bounds;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const audit::Scenario s = audit::generate_scenario(seed, bounds);
+    const audit::Fabric f = audit::build_fabric(s);
+    EXPECT_LE(f.topo().num_switches(), bounds.max_switches) << "seed " << seed;
+    EXPECT_GE(f.topo().num_terminals(), 2) << "seed " << seed;
+    EXPECT_TRUE(f.lids.has_value());
+    EXPECT_EQ(f.faults.num_stages(), s.faults.stages);
+  }
+}
+
+TEST(Scenario, EffectiveTrafficKeepsShiftNonzeroModN) {
+  audit::Scenario s = audit::generate_scenario(1);
+  s.traffic.pattern = workloads::PktPattern::kShift;
+  s.traffic.messages = workloads::kAutoMessages;
+  for (std::int32_t shift : {1, 2, 3, 7}) {
+    s.traffic.shift = shift;
+    for (std::int32_t n = 2; n <= 6; ++n) {
+      const workloads::PktPatternSpec spec = audit::effective_traffic(s, n);
+      EXPECT_GE(spec.shift, 1);
+      EXPECT_NE(spec.shift % n, 0) << "shift " << shift << " n " << n;
+    }
+  }
+}
+
+// --- oracle self-tests: each check must fail on corrupted input ------------
+
+TEST(OracleChecks, PktResultsEqualDetectsEveryFieldFlip) {
+  SmallFabric f;
+  sim::PktSim sim(f.hx.topo());
+  const auto msgs = small_messages(f);
+  const auto base = sim.run(msgs);
+  EXPECT_TRUE(audit::check_pkt_results_equal(base, base).pass);
+
+  auto r = base;
+  r.end_time += 1.0;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  ASSERT_FALSE(r.completion.empty());
+  r.completion[0] += 1e-9;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  r.packets_delivered -= 1;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  r.truncated = true;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  r.events_executed += 1;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+}
+
+TEST(OracleChecks, ConservationDetectsCorruptedCounters) {
+  SmallFabric f;
+  sim::PktSim sim(f.hx.topo());
+  const auto msgs = small_messages(f);
+  const auto base = sim.run(msgs);
+  EXPECT_TRUE(audit::check_pkt_conservation(msgs, base).pass);
+
+  auto r = base;
+  r.packets_delivered = r.packets_total + 1;
+  EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+  r = base;
+  r.packets_delivered -= 1;  // clean run that "lost" a packet
+  EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+  r = base;
+  r.deadlock = true;
+  r.truncated = true;
+  EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+  r = base;
+  r.completion.pop_back();
+  EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+}
+
+TEST(OracleChecks, TraceConsistencyDetectsTamperedCounters) {
+  SmallFabric f;
+  obs::PktTrace trace;
+  sim::PktSimConfig cfg;
+  cfg.trace = &trace;
+  sim::PktSim sim(f.hx.topo(), cfg);
+  const auto r = sim.run(small_messages(f));
+  EXPECT_TRUE(audit::check_trace_consistency(f.hx.topo(), cfg, r, trace).pass);
+
+  trace.at(f.hx.topo().terminal_down(0), 0).packets += 1;
+  EXPECT_FALSE(
+      audit::check_trace_consistency(f.hx.topo(), cfg, r, trace).pass);
+  trace.at(f.hx.topo().terminal_down(0), 0).packets -= 1;
+  EXPECT_TRUE(audit::check_trace_consistency(f.hx.topo(), cfg, r, trace).pass);
+
+  trace.at(0, 1).credit_stall_s = -0.5;
+  EXPECT_FALSE(
+      audit::check_trace_consistency(f.hx.topo(), cfg, r, trace).pass);
+}
+
+TEST(OracleChecks, RouteResultsEqualDetectsTableDivergence) {
+  SmallFabric f;
+  EXPECT_TRUE(
+      audit::check_route_results_equal(f.route, f.route, "self").pass);
+
+  auto corrupt = f.route;
+  // Reroute one (switch, dlid) entry through a different neighbor.
+  const topo::ChannelId other = f.hx.dim_channel(0, 1, 1);
+  corrupt.tables.set(0, f.lids.base_lid(3), other);
+  const auto check =
+      audit::check_route_results_equal(f.route, corrupt, "corrupt");
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("tables"), std::string::npos);
+
+  corrupt = f.route;
+  corrupt.num_vls_used += 1;
+  EXPECT_FALSE(
+      audit::check_route_results_equal(f.route, corrupt, "corrupt").pass);
+}
+
+TEST(OracleChecks, ShippedTablesDetectLostPairs) {
+  SmallFabric f;
+  audit::TableExpectations expect;
+  EXPECT_TRUE(
+      audit::check_shipped_tables(f.hx.topo(), f.lids, f.route, expect).pass);
+
+  // Cut terminal 3 off from switch 0 and claim nothing is unreachable.
+  auto corrupt = f.route;
+  corrupt.tables.set(0, f.lids.base_lid(3), topo::kInvalidChannel);
+  auto check =
+      audit::check_shipped_tables(f.hx.topo(), f.lids, corrupt, expect);
+  EXPECT_FALSE(check.pass);
+
+  // Same corruption with an honest unreachable_entries count must still
+  // fail the no-lost-pairs contract...
+  corrupt.unreachable_entries = 1;
+  check = audit::check_shipped_tables(f.hx.topo(), f.lids, corrupt, expect);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("lost"), std::string::npos);
+
+  // ...and pass once the scenario's engine legally loses pairs.
+  expect.require_no_lost_pairs = false;
+  EXPECT_TRUE(
+      audit::check_shipped_tables(f.hx.topo(), f.lids, corrupt, expect).pass);
+}
+
+TEST(OracleChecks, ShippedTablesDetectCyclicRoutes) {
+  // Hand-built 4-cycle on the 2x2 lattice: each of the four two-hop paths
+  // chains into the next around the ring, a textbook credit cycle on VL0.
+  SmallFabric f;
+  const topo::SwitchId s00 = 0;
+  const auto s10 = f.hx.switch_at(std::vector<std::int32_t>{1, 0});
+  const auto s01 = f.hx.switch_at(std::vector<std::int32_t>{0, 1});
+  const auto s11 = f.hx.switch_at(std::vector<std::int32_t>{1, 1});
+
+  const topo::ChannelId a = f.hx.dim_channel(s00, 0, 1);  // s00 -> s10
+  const topo::ChannelId b = f.hx.dim_channel(s10, 1, 1);  // s10 -> s11
+  const topo::ChannelId c = f.hx.dim_channel(s11, 0, 0);  // s11 -> s01
+  const topo::ChannelId d = f.hx.dim_channel(s01, 1, 0);  // s01 -> s00
+
+  routing::RouteResult ring;
+  ring.tables = routing::ForwardingTables(f.hx.topo().num_switches(),
+                                          f.lids.max_lid());
+  const auto lid = [&](topo::SwitchId sw) {
+    // terminals_per_switch == 1: terminal id == switch id.
+    return f.lids.base_lid(sw);
+  };
+  // Four two-hop paths forming the dependency cycle a->b->c->d->a.
+  ring.tables.set(s00, lid(s11), a);
+  ring.tables.set(s10, lid(s11), b);
+  ring.tables.set(s10, lid(s01), b);
+  ring.tables.set(s11, lid(s01), c);
+  ring.tables.set(s11, lid(s00), c);
+  ring.tables.set(s01, lid(s00), d);
+  ring.tables.set(s01, lid(s10), d);
+  ring.tables.set(s00, lid(s10), a);
+  // Direct single-hop routes for the remaining (switch, dlid) pairs.
+  ring.tables.set(s00, lid(s01), f.hx.dim_channel(s00, 1, 1));
+  ring.tables.set(s10, lid(s00), f.hx.dim_channel(s10, 0, 0));
+  ring.tables.set(s01, lid(s11), f.hx.dim_channel(s01, 0, 1));
+  ring.tables.set(s11, lid(s10), f.hx.dim_channel(s11, 1, 0));
+  // Ejection entries: at the owner switch the LFT points at the terminal.
+  for (const topo::SwitchId sw : {s00, s10, s01, s11})
+    ring.tables.set(sw, lid(sw), f.hx.topo().terminal_down(sw));
+
+  const routing::CdgReport cdg =
+      routing::verify_deadlock_freedom(f.hx.topo(), f.lids, ring);
+  EXPECT_FALSE(cdg.acyclic);
+
+  audit::TableExpectations expect;
+  const auto check =
+      audit::check_shipped_tables(f.hx.topo(), f.lids, ring, expect);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("cycle"), std::string::npos);
+
+  expect.require_acyclic = false;  // an sssp-style scenario tolerates it
+  EXPECT_TRUE(
+      audit::check_shipped_tables(f.hx.topo(), f.lids, ring, expect).pass);
+}
+
+TEST(OracleChecks, FlowInvariantsDetectCorruptedRates) {
+  SmallFabric f;
+  const sim::FlowSim fs(f.hx.topo());
+  std::vector<sim::Flow> flows(2);
+  for (auto& flow : flows) {
+    auto path = f.route.tables.path(f.hx.topo(), f.lids, 0,
+                                    f.lids.base_lid(3));
+    ASSERT_TRUE(path.ok);
+    flow.channels = std::move(path.channels);
+    flow.bytes = 1 << 20;
+  }
+  const std::vector<double> rates = fs.fair_rates(flows);
+  EXPECT_TRUE(audit::check_flow_invariants(fs, flows, rates).pass);
+
+  auto corrupt = rates;
+  corrupt[0] *= 2.0;  // oversubscribes the shared bottleneck
+  auto check = audit::check_flow_invariants(fs, flows, corrupt);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("oversubscribed"), std::string::npos);
+
+  corrupt = rates;
+  corrupt[0] *= 0.5;
+  corrupt[1] *= 0.5;  // feasible but nobody saturates: not max-min
+  check = audit::check_flow_invariants(fs, flows, corrupt);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("bottleneck"), std::string::npos);
+}
+
+// --- shrinking -------------------------------------------------------------
+
+TEST(Shrink, CandidatesAreValidAndStrictlySmaller) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const audit::Scenario s = audit::generate_scenario(seed);
+    for (const audit::Scenario& c : audit::shrink_candidates(s)) {
+      EXPECT_NO_THROW(audit::validate_scenario(c)) << "seed " << seed;
+      EXPECT_FALSE(c == s) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Shrink, GreedilyMinimisesUnderSyntheticPredicate) {
+  audit::Scenario s = audit::generate_scenario(5);
+  s.faults.stages = 3;
+  s.faults.links_per_stage = 2;
+  audit::validate_scenario(s);
+
+  // "Bug" reproduces whenever at least one fault stage remains.
+  const auto outcome = audit::shrink(
+      s, [](const audit::Scenario& c) { return c.faults.stages >= 1; });
+  EXPECT_EQ(outcome.scenario.faults.stages, 1);
+  EXPECT_GT(outcome.steps, 0);
+  EXPECT_NO_THROW(audit::validate_scenario(outcome.scenario));
+  EXPECT_NO_THROW((void)audit::build_fabric(outcome.scenario));
+}
+
+TEST(Shrink, RespectsAttemptBudget) {
+  const audit::Scenario s = audit::generate_scenario(6);
+  const auto outcome = audit::shrink(
+      s, [](const audit::Scenario&) { return true; }, /*max_attempts=*/3);
+  EXPECT_LE(outcome.attempts, 3);
+}
+
+// --- end-to-end ------------------------------------------------------------
+
+TEST(Audit, AllOraclesPassOnHealthySeeds) {
+  // A slice of the CI smoke sweep: every oracle over a few generated
+  // scenarios must pass on the shipped (healthy) pipelines.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const audit::ScenarioVerdict v =
+        audit::run_all_oracles(audit::generate_scenario(seed));
+    EXPECT_TRUE(v.pass) << "seed " << seed << " oracle " << v.oracle << ": "
+                        << v.detail;
+    EXPECT_EQ(v.oracles_run,
+              static_cast<std::int32_t>(audit::all_oracles().size()));
+  }
+}
+
+TEST(Audit, RunAuditReportsCleanSweep) {
+  audit::AuditOptions opt;
+  opt.first_seed = 1;
+  opt.num_seeds = 2;
+  opt.repro_path.clear();  // no file on failure; this sweep must pass
+  const audit::AuditOutcome outcome = audit::run_audit(opt);
+  EXPECT_FALSE(outcome.failed) << outcome.oracle << ": " << outcome.detail;
+  EXPECT_EQ(outcome.scenarios, 2);
+  EXPECT_EQ(outcome.oracle_runs,
+            2 * static_cast<std::int64_t>(audit::all_oracles().size()));
+}
+
+}  // namespace
+}  // namespace hxsim

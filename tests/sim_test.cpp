@@ -1036,7 +1036,8 @@ TEST_F(DalSuite, CandidatesCoverMinimalAndDeroute) {
   const NodeId dst = hx_.topo().switch_terminals(target)[0];
   std::vector<RouteCandidate> cands;
   AdaptiveState fresh;
-  dal_.candidates(sw, dst, fresh, cands);
+  stats::Rng rng(1);
+  dal_.candidates(sw, dst, fresh, cands, rng);
   std::int32_t minimal = 0;
   std::int32_t deroutes = 0;
   for (const RouteCandidate& c : cands) (c.minimal ? minimal : deroutes)++;
@@ -1051,7 +1052,8 @@ TEST_F(DalSuite, DerouteOncePerDimension) {
   AdaptiveState state;
   state.deroute_mask = 1;  // already derouted in dimension 0
   std::vector<RouteCandidate> cands;
-  dal_.candidates(sw, dst, state, cands);
+  stats::Rng rng(1);
+  dal_.candidates(sw, dst, state, cands, rng);
   for (const RouteCandidate& c : cands) EXPECT_TRUE(c.minimal);
 }
 
@@ -1445,17 +1447,106 @@ TEST(PktSimBatch, RejectsTraceCountMismatch) {
   EXPECT_THROW((void)sim.run_batch(reps, 1, sinks), std::invalid_argument);
 }
 
+/// A router with genuinely mutable internal state (a hop counter shared
+/// across runs): results would depend on replication execution order, the
+/// hazard replicable() == false declares.
+class StatefulRouter final : public AdaptiveRouter {
+ public:
+  explicit StatefulRouter(const topo::HyperX& hx) : dal_(hx) {}
+  void candidates(topo::SwitchId sw, topo::NodeId dst, AdaptiveState& state,
+                  std::vector<RouteCandidate>& out,
+                  stats::Rng& rng) const override {
+    ++calls_;
+    dal_.candidates(sw, dst, state, out, rng);
+  }
+  void on_hop(const RouteCandidate& chosen,
+              AdaptiveState& state) const override {
+    dal_.on_hop(chosen, state);
+  }
+  [[nodiscard]] std::int32_t max_hops() const override {
+    return dal_.max_hops();
+  }
+  [[nodiscard]] bool replicable() const noexcept override { return false; }
+
+ private:
+  DalRouter dal_;
+  mutable std::int64_t calls_ = 0;
+};
+
 TEST(PktSimBatch, RejectsNonReplicableRouter) {
-  // ValiantRouter draws intermediates from a shared mutable RNG: results
-  // would depend on replication execution order, so run_batch refuses.
   const topo::HyperX hx(topo::small_hyperx_params());
-  const ValiantRouter val(hx, 1);
-  ASSERT_FALSE(val.replicable());
+  const StatefulRouter router(hx);
+  ASSERT_FALSE(router.replicable());
   PktSimConfig cfg;
-  cfg.adaptive = &val;
+  cfg.adaptive = &router;
   PktSim sim(hx.topo(), cfg);
   const std::vector<std::vector<PktMessage>> reps(2);
   EXPECT_THROW((void)sim.run_batch(reps), std::invalid_argument);
+}
+
+TEST(PktSimBatch, ValiantIsReplicableAndThreadInvariant) {
+  // The fixed ValiantRouter draws from the engine-owned per-replication
+  // rng, so run_batch accepts it and results are bit-identical at any
+  // thread count -- and equal to serial run() calls at the same indices.
+  const topo::HyperX hx(topo::small_hyperx_params());
+  const ValiantRouter val(hx, 7);
+  EXPECT_TRUE(val.replicable());
+  PktSimConfig cfg;
+  cfg.adaptive = &val;
+  PktSim sim(hx.topo(), cfg);
+
+  std::vector<std::vector<PktMessage>> reps;
+  stats::Rng traffic(3);
+  for (int r = 0; r < 6; ++r) {
+    std::vector<PktMessage> msgs;
+    for (int i = 0; i < 24; ++i) {
+      PktMessage m;
+      m.src = static_cast<NodeId>(traffic.next_below(32));
+      m.dst = static_cast<NodeId>(traffic.next_below(32));
+      if (m.src == m.dst) continue;
+      m.bytes = 4 * 1024;
+      msgs.push_back(m);
+    }
+    reps.push_back(std::move(msgs));
+  }
+
+  const auto serial = sim.run_batch(reps, 1);
+  const auto parallel = sim.run_batch(reps, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].completion, parallel[i].completion) << i;
+    EXPECT_EQ(serial[i].events_executed, parallel[i].events_executed) << i;
+    const auto lone =
+        sim.run(reps[i], SIZE_MAX, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(lone.completion, serial[i].completion) << i;
+  }
+}
+
+TEST(PktSimBatch, ValiantSingleRunMatchesLegacyStream) {
+  // Replication index 0 must reproduce the pre-fix single-run stream: the
+  // engine rng is seeded with the router's base seed unchanged, so the
+  // intermediate draws are the same Rng(seed) sequence the old mutable
+  // member produced on a fresh router.
+  const topo::HyperX hx(topo::small_hyperx_params());
+  PktMessage m;
+  m.src = 0;
+  m.dst = 17;
+  m.bytes = 2048;  // one packet: exactly one intermediate draw
+  const std::vector<PktMessage> msgs{m};
+
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const ValiantRouter val(hx, seed);
+    PktSimConfig cfg;
+    cfg.adaptive = &val;
+    PktSim sim(hx.topo(), cfg);
+    const auto a = sim.run(msgs);
+    const auto b = sim.run(msgs);  // same instance, warm scratch
+    EXPECT_EQ(a.completion, b.completion) << seed;
+    EXPECT_EQ(val.rng_seed(), seed);
+    // The draw the engine makes is the first of Rng(seed), as before.
+    stats::Rng expect(seed);
+    (void)expect.next_below(32);  // the legacy stream's first value
+  }
 }
 
 // --- adaptive tie-break determinism ----------------------------------------------
@@ -1490,7 +1581,8 @@ class PermutingRouter final : public AdaptiveRouter {
 
   void candidates(topo::SwitchId sw, topo::NodeId /*dst*/,
                   AdaptiveState& /*state*/,
-                  std::vector<RouteCandidate>& out) const override {
+                  std::vector<RouteCandidate>& out,
+                  stats::Rng& /*rng*/) const override {
     if (sw == star_->a) {
       for (const int i : order_)
         out.push_back(RouteCandidate{star_->ab[i], true});
