@@ -1,120 +1,9 @@
-// Ablation study of the PARX design choices (DESIGN.md):
-//   - link pruning (rules R1-R4) on/off: does forcing non-minimal paths
-//     actually buy bandwidth for dense allocations?
-//   - demand-weighted edge updates on/off: does pattern-awareness reduce
-//     hot-channel overlap?
-//   - LMC multipathing: PARX (4 LIDs) vs plain DFSSSP (1 LID).
-// Metrics: 28-node mpiGraph mean bandwidth (Figure 1 scenario) and
-// 14-node Alltoall time (the worst-case shared-cable scenario).
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "core/parx.hpp"
-#include "core/quadrant.hpp"
-#include "mpi/collectives.hpp"
-#include "routing/dfsssp.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "topo/fault_injector.hpp"
-#include "workloads/imb.hpp"
-#include "workloads/mpigraph.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-struct Variant {
-  std::string name;
-  mpi::Cluster cluster;
-};
-
-double alltoall_time(const mpi::Cluster& cluster, std::int32_t n,
-                     std::uint64_t seed) {
-  const mpi::Placement p =
-      mpi::Placement::linear(n, mpi::Placement::whole_machine(
-                                    cluster.num_nodes()));
-  mpi::Transport t(cluster, p, seed);
-  return t.execute(mpi::collectives::alltoall_pairwise(n, 512 * 1024));
-}
-
-double mpigraph_mean(const mpi::Cluster& cluster, std::int32_t n,
-                     std::uint64_t seed) {
-  const mpi::Placement p =
-      mpi::Placement::linear(n, mpi::Placement::whole_machine(
-                                    cluster.num_nodes()));
-  workloads::MpiGraphOptions opts;
-  opts.seed = seed;
-  return workloads::mpigraph(cluster, p, n, opts).mean_off_diagonal();
-}
-
-}  // namespace
+// Ablation study of the PARX design choices (pruning, demand-awareness).
+// Thin wrapper: the measurement core lives in
+// experiments/exp_ablation_parx.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  topo::HyperX hx(args.quick
-                      ? topo::HyperXParams{{6, 4}, 4, "hyperx-6x4"}
-                      : topo::paper_hyperx_params());
-  // Same degraded fabric as before, expressed as a one-stage fault schedule
-  // (a link-only single stage is bit-identical to the legacy injector).
-  topo::FaultSchedule::Options faults;
-  faults.links_per_stage = args.quick ? 2 : 15;
-  faults.seed = 1003;
-  topo::FaultSchedule::plan(hx.topo(), faults).apply_all(hx.topo());
-
-  // A synthetic all-pairs demand over the dense allocation (mpiGraph-like).
-  const std::int32_t dense = args.quick ? 16 : 28;
-  core::DemandMatrix demands(hx.topo().num_terminals());
-  for (topo::NodeId s = 0; s < dense; ++s)
-    for (topo::NodeId d = 0; d < dense; ++d)
-      if (s != d) demands.set(s, d, 255);
-
-  std::vector<Variant> variants;
-  {
-    routing::LidSpace lids =
-        routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
-    routing::DfssspEngine engine(8);
-    variants.push_back(Variant{"DFSSSP (no LMC, minimal)",
-                               mpi::Cluster(hx.topo(), lids,
-                                            engine.compute(hx.topo(), lids),
-                                            mpi::make_ob1())});
-  }
-  auto add_parx = [&](const std::string& name, core::ParxOptions opts,
-                      const core::DemandMatrix& dm) {
-    routing::LidSpace lids = core::make_parx_lid_space(hx);
-    core::ParxEngine engine(hx, dm, opts);
-    variants.push_back(Variant{name,
-                               mpi::Cluster(hx.topo(), lids,
-                                            engine.compute(hx.topo(), lids),
-                                            mpi::make_bfo())});
-  };
-  add_parx("PARX full (pruning + demand)", core::ParxOptions{}, demands);
-  {
-    core::ParxOptions opts;
-    opts.use_demand_weights = false;
-    add_parx("PARX w/o demand weights", opts,
-             core::DemandMatrix(hx.topo().num_terminals()));
-  }
-  {
-    core::ParxOptions opts;
-    opts.use_link_pruning = false;
-    add_parx("PARX w/o link pruning (minimal LIDs)", opts, demands);
-  }
-
-  std::printf("== PARX ablation (dense %d-node allocation) ==\n\n", dense);
-  stats::TextTable table({"variant", "VLs", "mpiGraph mean GiB/s",
-                          "14-node Alltoall 512KiB [ms]"});
-  for (const Variant& v : variants) {
-    table.add_row({v.name,
-                   std::to_string(v.cluster.route().num_vls_used),
-                   stats::format_fixed(mpigraph_mean(v.cluster, dense,
-                                                     args.seed), 2),
-                   stats::format_fixed(
-                       alltoall_time(v.cluster, std::min(dense, 14),
-                                     args.seed) * 1e3, 2)});
-  }
-  std::printf("%s", table.to_string().c_str());
-  std::printf("\nReading: pruning buys the bandwidth (row 2 vs 4); demand "
-              "weights refine it further (row 2 vs 3); plain DFSSSP (row 1) "
-              "shows the shared-cable collapse PARX exists to fix.\n");
-  return 0;
+  return hxsim::bench::run_experiment_main("ablation_parx", argc, argv);
 }

@@ -1,171 +1,9 @@
-// Future-work experiment the paper could not run: adaptive routing on the
-// HyperX ("Our dated QDR-based InfiniBand hardware ... entirely lacks
-// adaptive routing capabilities", Section 2.3; "future HyperX deployments
-// use AR, making our static routing prototype obsolete", footnote 3).
-//
-// Compares four routing strategies on the packet simulator:
-//   static minimal (DFSSSP), static PARX (small/large LID selection),
-//   minimal-adaptive, and DAL (one deroute per dimension),
-// on the paper's two stress scenarios:
-//   (a) the shared-cable hotspot: 7 streams between two adjacent switches;
-//   (b) a 28-node dense-allocation permutation shift (the Figure 1 traffic).
-#include <cmath>
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "core/lid_choice.hpp"
-#include "core/parx.hpp"
-#include "core/quadrant.hpp"
-#include "routing/dfsssp.hpp"
-#include "sim/adaptive.hpp"
-#include "sim/pktsim.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "topo/hyperx.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-double worst_completion(const sim::PktSim::Result& r) {
-  double worst = 0.0;
-  for (double t : r.completion)
-    if (!std::isnan(t)) worst = std::max(worst, t);
-  return worst;
-}
-
-}  // namespace
+// Future-work experiment: adaptive routing (min/VAL/DAL) on the HyperX.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_adaptive_routing.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const topo::HyperX hx(topo::paper_hyperx_params());
-  const std::int64_t bytes = args.quick ? 64 * 1024 : 512 * 1024;
-
-  // Static planes.
-  routing::LidSpace dlids =
-      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
-  routing::DfssspEngine dfsssp(8);
-  const routing::RouteResult dfsssp_route = dfsssp.compute(hx.topo(), dlids);
-  routing::LidSpace plids = core::make_parx_lid_space(hx);
-  core::ParxEngine parx(hx);
-  const routing::RouteResult parx_route = parx.compute(hx.topo(), plids);
-
-  // Adaptive routers.
-  const sim::DalRouter dal(hx);
-  const sim::DalRouter minimal_adaptive = sim::make_minimal_adaptive(hx);
-  const sim::ValiantRouter valiant(hx, args.seed);
-
-  // Scenario traffic as (src, dst) pairs.
-  struct Scenario {
-    std::string name;
-    std::vector<std::pair<topo::NodeId, topo::NodeId>> pairs;
-  };
-  std::vector<Scenario> scenarios;
-  {
-    Scenario hotspot{"(a) 7 streams, adjacent switches", {}};
-    for (std::int32_t i = 0; i < 7; ++i)
-      hotspot.pairs.emplace_back(hx.topo().switch_terminals(0)[i],
-                                 hx.topo().switch_terminals(1)[i]);
-    scenarios.push_back(std::move(hotspot));
-
-    Scenario shift{"(b) 28-node half-shift permutation", {}};
-    for (std::int32_t i = 0; i < 28; ++i)
-      shift.pairs.emplace_back(i, (i + 14) % 28);
-    scenarios.push_back(std::move(shift));
-  }
-
-  auto static_messages = [&](const Scenario& sc,
-                             const routing::LidSpace& lids,
-                             const routing::RouteResult& route,
-                             bool parx_selection) {
-    stats::Rng rng(args.seed);
-    std::vector<sim::PktMessage> msgs;
-    for (const auto& [src, dst] : sc.pairs) {
-      routing::Lid dlid = lids.base_lid(dst);
-      if (parx_selection) {
-        const auto src_q = lids.group_of_lid(lids.base_lid(src));
-        const auto dst_q = lids.group_of_lid(lids.base_lid(dst));
-        dlid = lids.lid(dst, core::pick_parx_lid(
-                                 src_q, dst_q,
-                                 core::classify_message(bytes), rng));
-      }
-      auto path = route.tables.path(hx.topo(), lids, src, dlid);
-      sim::PktMessage m;
-      m.src = src;
-      m.dst = dst;
-      m.bytes = bytes;
-      m.path = std::move(path.channels);
-      m.vl = route.vls.vl(hx.topo().attach_switch(src), dlid);
-      msgs.push_back(std::move(m));
-    }
-    return msgs;
-  };
-  auto adaptive_messages = [&](const Scenario& sc) {
-    std::vector<sim::PktMessage> msgs;
-    for (const auto& [src, dst] : sc.pairs) {
-      sim::PktMessage m;
-      m.src = src;
-      m.dst = dst;
-      m.bytes = bytes;
-      msgs.push_back(std::move(m));
-    }
-    return msgs;
-  };
-
-  std::printf("== Adaptive vs. static routing on the 12x8 HyperX "
-              "(PktSim, %s per stream) ==\n\n",
-              stats::format_bytes(bytes).c_str());
-  for (const Scenario& sc : scenarios) {
-    std::printf("%s\n", sc.name.c_str());
-    stats::TextTable table({"routing", "slowest stream [ms]",
-                            "vs DFSSSP"});
-    double base = 0.0;
-    struct Run {
-      const char* name;
-      double time;
-    };
-    std::vector<Run> runs;
-    {
-      sim::PktSim pkt(hx.topo(), sim::PktSimConfig{});
-      runs.push_back({"static DFSSSP (minimal)",
-                      worst_completion(pkt.run(
-                          static_messages(sc, dlids, dfsssp_route, false)))});
-      base = runs.back().time;
-    }
-    {
-      sim::PktSim pkt(hx.topo(), sim::PktSimConfig{});
-      runs.push_back({"static PARX (Table 1)",
-                      worst_completion(pkt.run(
-                          static_messages(sc, plids, parx_route, true)))});
-    }
-    {
-      sim::PktSimConfig cfg;
-      cfg.adaptive = &minimal_adaptive;
-      sim::PktSim pkt(hx.topo(), cfg);
-      runs.push_back({"minimal-adaptive",
-                      worst_completion(pkt.run(adaptive_messages(sc)))});
-    }
-    {
-      sim::PktSimConfig cfg;
-      cfg.adaptive = &valiant;
-      sim::PktSim pkt(hx.topo(), cfg);
-      runs.push_back({"VAL (random intermediate)",
-                      worst_completion(pkt.run(adaptive_messages(sc)))});
-    }
-    {
-      sim::PktSimConfig cfg;
-      cfg.adaptive = &dal;
-      sim::PktSim pkt(hx.topo(), cfg);
-      runs.push_back({"DAL (adaptive, 1 deroute/dim)",
-                      worst_completion(pkt.run(adaptive_messages(sc)))});
-    }
-    for (const Run& run : runs)
-      table.add_row({run.name, stats::format_fixed(run.time * 1e3, 2),
-                     stats::format_fixed(base / run.time, 2) + "x"});
-    std::printf("%s\n", table.to_string().c_str());
-  }
-  std::printf("Reading: DAL recovers the shared-cable bandwidth without any "
-              "routing tables or LMC tricks -- the paper's conclusion that "
-              "adaptive routing obsoletes the PARX prototype.\n");
-  return 0;
+  return hxsim::bench::run_experiment_main("adaptive_routing", argc, argv);
 }

@@ -21,6 +21,7 @@
 
 #include "exec/exec.hpp"
 #include "mpi/cluster.hpp"
+#include "obs/bench_json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_clock.hpp"
 #include "stats/csv.hpp"
@@ -119,48 +120,9 @@ inline void write_trace(const BenchArgs& args,
   std::printf("wrote trace %s\n", args.trace_path->c_str());
 }
 
-/// Machine-readable perf record: every bench that times phases appends
-/// {name, metrics} entries and writes one BENCH_<bench>.json so the perf
-/// trajectory of the hot paths is tracked in-repo from PR to PR.
-class BenchJson {
- public:
-  explicit BenchJson(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
-
-  void add(const std::string& phase,
-           const std::vector<std::pair<std::string, double>>& metrics) {
-    entries_.push_back({phase, metrics});
-  }
-
-  /// Writes BENCH_<bench>.json into `dir` (default: working directory).
-  void write(const std::string& dir = ".") const {
-    const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"phases\": [\n",
-                 bench_name_.c_str());
-    for (std::size_t e = 0; e < entries_.size(); ++e) {
-      std::fprintf(f, "    {\"name\": \"%s\"", entries_[e].phase.c_str());
-      for (const auto& [key, value] : entries_[e].metrics)
-        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
-      std::fprintf(f, "}%s\n", e + 1 < entries_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
-  }
-
- private:
-  struct Entry {
-    std::string phase;
-    std::vector<std::pair<std::string, double>> metrics;
-  };
-  std::string bench_name_;
-  std::vector<Entry> entries_;
-};
+/// Machine-readable perf record (BENCH_<bench>.json); lives in obs/ so
+/// the phases share the report/ result schema (obs::BenchJson::publish).
+using BenchJson = obs::BenchJson;
 
 /// Optional CSV sink (no-op when --csv is absent).
 class CsvSink {

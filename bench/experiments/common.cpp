@@ -1,0 +1,90 @@
+#include <cstdio>
+#include <exception>
+#include <optional>
+
+#include "experiments/experiments.hpp"
+
+namespace hxsim::bench {
+
+BenchArgs to_bench_args(const report::Options& options) {
+  BenchArgs args;
+  args.quick = options.quick;
+  args.seed = options.seed;
+  args.reps = options.reps;
+  args.threads = options.threads;
+  args.csv_path = options.csv_path;
+  args.trace_path = options.trace_path;
+  exec::set_default_threads(args.threads);
+  return args;
+}
+
+report::Options to_options(const BenchArgs& args) {
+  report::Options options;
+  options.quick = args.quick;
+  options.seed = args.seed;
+  options.reps = args.reps;
+  options.threads = args.threads;
+  options.csv_path = args.csv_path;
+  options.trace_path = args.trace_path;
+  return options;
+}
+
+const workloads::PaperSystem& shared_system(bool small_scale) {
+  static std::optional<workloads::PaperSystem> full;
+  static std::optional<workloads::PaperSystem> small;
+  std::optional<workloads::PaperSystem>& slot = small_scale ? small : full;
+  if (!slot) {
+    workloads::SystemOptions opts;
+    opts.small_scale = small_scale;
+    slot.emplace(opts);
+  }
+  return *slot;
+}
+
+void register_all_experiments(report::Registry& registry) {
+  registry.add(fig1_mpigraph_experiment());
+  registry.add(table1_rules_experiment());
+  registry.add(fig4_collectives_experiment());
+  registry.add(fig5a_baidu_allreduce_experiment());
+  registry.add(fig5b_barrier_experiment());
+  registry.add(fig5c_ebb_experiment());
+  registry.add(fig6_apps_experiment());
+  registry.add(fig6_x500_experiment());
+  registry.add(fig7_capacity_experiment());
+  registry.add(threshold_calibration_experiment());
+  registry.add(topology_properties_experiment());
+  registry.add(ablation_parx_experiment());
+  registry.add(adaptive_routing_experiment());
+  registry.add(uniform_random_throughput_experiment());
+  registry.add(topology_comparison_experiment());
+  registry.add(taper_study_experiment());
+  registry.add(reroute_dirty_experiment());
+  registry.add(pktsim_speedup_experiment());
+}
+
+report::Registry& global_registry() {
+  static report::Registry registry = [] {
+    report::Registry r;
+    register_all_experiments(r);
+    return r;
+  }();
+  return registry;
+}
+
+int run_experiment_main(const char* id, int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const report::Experiment* experiment = global_registry().find(id);
+  if (experiment == nullptr) {
+    std::fprintf(stderr, "experiment '%s' is not registered\n", id);
+    return 2;
+  }
+  try {
+    (void)global_registry().run(*experiment, to_options(args));
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s failed: %s\n", id, ex.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace hxsim::bench

@@ -1,0 +1,115 @@
+// Figure 6j-6l experiment: the x500 benchmarks -- HPL and HPCG compute
+// performance [Gflop/s] and Graph500 traversal speed [GTEPS] -- per node
+// count and combination (higher is better).
+#include <algorithm>
+#include <cstdio>
+
+#include "experiments/experiments.hpp"
+#include "stats/gain.hpp"
+#include "stats/table.hpp"
+#include "stats/units.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/imb.hpp"
+#include "workloads/x500.hpp"
+
+namespace hxsim::bench {
+
+namespace {
+
+report::ResultSet run(const report::Options& options) {
+  const BenchArgs args = to_bench_args(options);
+  report::ResultSet rs;
+  const workloads::PaperSystem& system = shared_system(args.quick);
+  const std::int32_t machine = system.num_nodes();
+
+  CsvSink csv(args, {"bench", "config", "nodes", "metric",
+                     "gain_vs_baseline"});
+  report::ResultTable& out =
+      rs.table("x500", {"benchmark", "nodes", "baseline",
+                        "max spread across configs"});
+
+  for (const workloads::AppId id : workloads::x500_apps()) {
+    const workloads::AppWorkload probe = workloads::make_app(id, 4);
+    const bool is_graph = id == workloads::AppId::kGraph500;
+    std::vector<std::int32_t> node_counts = workloads::capability_node_counts(
+        probe.power_of_two_scaling, machine);
+    if (args.quick) node_counts.resize(std::min<std::size_t>(
+        node_counts.size(), 3));
+
+    std::printf("== Fig. 6 %s [%s] (higher is better) ==\n",
+                probe.name.c_str(), is_graph ? "GTEPS" : "Gflop/s");
+    std::vector<std::string> header{"config"};
+    for (const std::int32_t n : node_counts)
+      header.push_back(std::to_string(n));
+    stats::TextTable table(header);
+
+    // Per node count: baseline metric and the config spread (max/min - 1
+    // over all five combinations; the paper finds the x500 codes
+    // compute-bound, so the spread stays within a few percent).
+    std::vector<double> col_min(node_counts.size(), 0.0);
+    std::vector<double> col_max(node_counts.size(), 0.0);
+    std::vector<double> baseline_best;
+    for (std::size_t cfg = 0; cfg < system.configs().size(); ++cfg) {
+      const auto& config = system.configs()[cfg];
+      const std::int32_t reps = reps_for(config, args);
+      std::vector<std::string> row{config.name};
+      for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+        const std::int32_t n = node_counts[ni];
+        const workloads::AppWorkload app = workloads::make_app(id, n);
+        double best_metric = 0.0;
+        for (std::int32_t rep = 0; rep < reps; ++rep) {
+          const mpi::Placement placement =
+              place(config, n, machine, args.seed + 307 * rep);
+          mpi::Transport transport(*config.cluster, placement,
+                                   args.seed + rep);
+          const double t = workloads::run_workload(app, transport);
+          if (t > workloads::kWalltimeLimit) continue;
+          const double metric =
+              is_graph ? workloads::gteps(app, t) : workloads::gflops(app, t);
+          best_metric = std::max(best_metric, metric);
+        }
+        if (cfg == 0) baseline_best.push_back(best_metric);
+        if (best_metric > 0.0) {
+          col_min[ni] = col_min[ni] > 0.0 ? std::min(col_min[ni], best_metric)
+                                          : best_metric;
+          col_max[ni] = std::max(col_max[ni], best_metric);
+        }
+        const double gain = stats::relative_gain(
+            baseline_best[ni], best_metric,
+            stats::Direction::kHigherIsBetter);
+        row.push_back(best_metric == 0.0
+                          ? "miss"
+                          : stats::format_fixed(best_metric, 1) + " (" +
+                                stats::format_gain(gain) + ")");
+        csv.add_row({probe.name, config.name, std::to_string(n),
+                     stats::format_fixed(best_metric, 3),
+                     stats::format_gain(gain)});
+      }
+      table.add_row(row);
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    const std::size_t top = node_counts.size() - 1;
+    const double top_spread =
+        col_min[top] > 0.0 ? col_max[top] / col_min[top] - 1.0 : 0.0;
+    out.add_row({probe.name, std::to_string(node_counts[top]),
+                 stats::format_fixed(baseline_best[top], 1) +
+                     (is_graph ? " GTEPS" : " Gflop/s"),
+                 stats::format_fixed(top_spread * 100.0, 1) + "%"});
+    std::string key = is_graph ? "graph500" : (id == workloads::AppId::kHpl
+                                                   ? "hpl" : "hpcg");
+    rs.set(key + "_top_metric", baseline_best[top]);
+    rs.set(key + "_top_spread", top_spread);
+  }
+  return rs;
+}
+
+}  // namespace
+
+report::Experiment fig6_x500_experiment() {
+  return {"fig6_x500",
+          "HPL/HPCG Gflops and Graph500 GTEPS over the combinations",
+          "Fig. 6j-6l", run};
+}
+
+}  // namespace hxsim::bench

@@ -1,0 +1,168 @@
+// Repo-level experiment: the typed packet-engine rewrite, as claims.
+// Reference vs typed engine on the shift workloads of both fabrics plus
+// the congested hotspot regime the rewrite targets; every typed result
+// must be bitwise identical to the reference, and the committed claims
+// gate the single-thread speedup staying at or above parity.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiments/experiments.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/ftree.hpp"
+#include "sim/pktsim.hpp"
+#include "stats/table.hpp"
+#include "stats/units.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/hyperx.hpp"
+#include "workloads/pkt_sweep.hpp"
+
+namespace hxsim::bench {
+
+namespace {
+
+/// Bitwise result equality (NaN-safe); the check-mode comparator.
+bool results_equal(const sim::PktSim::Result& a,
+                   const sim::PktSim::Result& b) {
+  if (a.completion.size() != b.completion.size()) return false;
+  if (!a.completion.empty() &&
+      std::memcmp(a.completion.data(), b.completion.data(),
+                  a.completion.size() * sizeof(double)) != 0)
+    return false;
+  return a.deadlock == b.deadlock && a.truncated == b.truncated &&
+         std::memcmp(&a.end_time, &b.end_time, sizeof(double)) == 0 &&
+         a.packets_delivered == b.packets_delivered &&
+         a.packets_total == b.packets_total &&
+         a.events_executed == b.events_executed;
+}
+
+struct EngineTiming {
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  sim::PktSim::Result result;
+};
+
+EngineTiming time_engine(const topo::Topology& topo,
+                         const sim::PktSimConfig& base,
+                         sim::PktSimConfig::Engine engine,
+                         const std::vector<sim::PktMessage>& msgs,
+                         std::int32_t reps) {
+  sim::PktSimConfig cfg = base;
+  cfg.engine = engine;
+  sim::PktSim simulator(topo, cfg);
+  (void)simulator.run(msgs);  // warm-up: sizes scratch, touches pages
+  EngineTiming t;
+  PhaseClock clock;
+  for (std::int32_t r = 0; r < reps; ++r) t.result = simulator.run(msgs);
+  t.seconds = clock.lap() / reps;
+  if (t.seconds > 0.0)
+    t.events_per_sec =
+        static_cast<double>(t.result.events_executed) / t.seconds;
+  return t;
+}
+
+report::ResultSet run(const report::Options& options) {
+  const BenchArgs args = to_bench_args(options);
+  report::ResultSet rs;
+  const std::int32_t reps = args.quick ? 2 : std::max(args.reps, 1);
+
+  const topo::HyperX hx(args.quick ? topo::small_hyperx_params()
+                                   : topo::paper_hyperx_params());
+  const auto hx_lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  routing::DfssspEngine dfsssp(8);
+  const auto hx_route = dfsssp.compute(hx.topo(), hx_lids);
+
+  const topo::FatTree ft(args.quick ? topo::small_fat_tree_params()
+                                    : topo::paper_fat_tree_params());
+  const auto ft_lids =
+      routing::LidSpace::consecutive(ft.topo().num_terminals(), 0);
+  routing::FtreeEngine ftree(ft);
+  const auto ft_route = ftree.compute(ft.topo(), ft_lids);
+
+  const std::int64_t bytes = args.quick ? 16 * 1024 : 64 * 1024;
+  const workloads::PktRoutingArm hx_static{"dfsssp", &hx_route, &hx_lids,
+                                           nullptr};
+  const workloads::PktRoutingArm ft_static{"ftree", &ft_route, &ft_lids,
+                                           nullptr};
+
+  workloads::PktPatternSpec shift;
+  shift.pattern = workloads::PktPattern::kShift;
+  shift.shift = 1;
+  shift.bytes = bytes;
+  workloads::PktPatternSpec hotspot;
+  hotspot.pattern = workloads::PktPattern::kHotspot;
+  hotspot.messages = args.quick ? 64 : 256;
+  hotspot.bytes = bytes;
+
+  struct Phase {
+    const char* key;
+    const char* label;
+    const topo::Topology& topo;
+    const workloads::PktRoutingArm& arm;
+    const workloads::PktPatternSpec& spec;
+  };
+  const std::vector<Phase> phases{
+      {"hx_shift", "hyperx dfsssp shift", hx.topo(), hx_static, shift},
+      {"ft_shift", "ftree shift", ft.topo(), ft_static, shift},
+      {"hx_hotspot", "hyperx dfsssp hotspot", hx.topo(), hx_static,
+       hotspot},
+  };
+
+  std::printf("== Typed vs reference packet engine (single thread, %d reps) "
+              "==\n\n", reps);
+  stats::TextTable table({"workload", "events", "ref Mev/s", "typed Mev/s",
+                          "speedup", "bit-identical"});
+  report::ResultTable& out =
+      rs.table("speedup", {"workload", "events", "ref Mev/s", "typed Mev/s",
+                           "speedup", "bit-identical"});
+  const sim::PktSimConfig cfg;
+  bool all_identical = true;
+  double min_speedup = 0.0;
+  for (const Phase& phase : phases) {
+    const auto msgs =
+        build_pkt_messages(phase.topo, phase.arm, phase.spec, args.seed);
+    const EngineTiming ref = time_engine(
+        phase.topo, cfg, sim::PktSimConfig::Engine::kReference, msgs, reps);
+    const EngineTiming typed = time_engine(
+        phase.topo, cfg, sim::PktSimConfig::Engine::kTyped, msgs, reps);
+    const bool identical = results_equal(ref.result, typed.result) &&
+                           !ref.result.deadlock && !ref.result.truncated;
+    all_identical = all_identical && identical;
+    const double speedup =
+        typed.seconds > 0.0 ? ref.seconds / typed.seconds : 0.0;
+    min_speedup = min_speedup > 0.0 ? std::min(min_speedup, speedup)
+                                    : speedup;
+    const std::vector<std::string> row{
+        phase.label,
+        std::to_string(typed.result.events_executed),
+        stats::format_fixed(ref.events_per_sec / 1e6, 2),
+        stats::format_fixed(typed.events_per_sec / 1e6, 2),
+        stats::format_fixed(speedup, 2) + "x",
+        identical ? "yes" : "NO"};
+    table.add_row(row);
+    out.add_row(row);
+    rs.set(std::string(phase.key) + "_speedup", speedup);
+    rs.set(std::string(phase.key) + "_typed_events_per_sec",
+           typed.events_per_sec);
+  }
+  rs.set("typed_min_speedup", min_speedup);
+  rs.set("typed_identical", all_identical ? 1.0 : 0.0);
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("typed engine bit-identical to reference: %s\n",
+              all_identical ? "yes" : "NO (BUG)");
+  return rs;
+}
+
+}  // namespace
+
+report::Experiment pktsim_speedup_experiment() {
+  return {"pktsim_speedup",
+          "Typed packet engine speedup and bitwise identity vs reference",
+          "repo (typed-engine contract)", run};
+}
+
+}  // namespace hxsim::bench

@@ -1,0 +1,95 @@
+// Section 3.2.4 calibration experiment: at which message size does
+// congestion on the single cable between two HyperX switches start to
+// dominate latency?  Multi-PingPong on the packet simulator, k = 1..7
+// pairs per switch pair; the knee behind the paper's 512-byte threshold.
+#include <cstdio>
+
+#include "experiments/experiments.hpp"
+#include "routing/dfsssp.hpp"
+#include "sim/pktsim.hpp"
+#include "stats/table.hpp"
+#include "stats/units.hpp"
+#include "topo/hyperx.hpp"
+
+namespace hxsim::bench {
+
+namespace {
+
+report::ResultSet run(const report::Options& options) {
+  const BenchArgs args = to_bench_args(options);
+  (void)args;  // deterministic and cheap at paper scale; ignores --quick
+  report::ResultSet rs;
+
+  const topo::HyperX hx(topo::paper_hyperx_params());
+  routing::LidSpace lids =
+      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
+  routing::DfssspEngine engine(8);
+  const routing::RouteResult route = engine.compute(hx.topo(), lids);
+
+  sim::PktSimConfig cfg;
+  sim::PktSim pktsim(hx.topo(), cfg);
+
+  std::printf("== Small/large threshold calibration (PktSim, two adjacent "
+              "12x8 switches) ==\n\n");
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t b = 64; b <= 64 * 1024; b *= 2) sizes.push_back(b);
+
+  std::vector<std::string> header{"msg size"};
+  for (std::int32_t k = 1; k <= 7; ++k)
+    header.push_back(std::to_string(k) + " pairs");
+  stats::TextTable table(header);
+  report::ResultTable& knee =
+      rs.table("knee", {"msg size", "7-pair slowdown"});
+
+  for (const std::int64_t bytes : sizes) {
+    std::vector<std::string> row{stats::format_bytes(bytes)};
+    double solo_latency = 0.0;
+    double full_contention = 0.0;
+    for (std::int32_t pairs = 1; pairs <= 7; ++pairs) {
+      std::vector<sim::PktMessage> msgs;
+      for (std::int32_t p = 0; p < pairs; ++p) {
+        // Node p on switch 0 streams to node p on switch 1 (7 per switch).
+        const topo::NodeId src = hx.topo().switch_terminals(0)[p];
+        const topo::NodeId dst = hx.topo().switch_terminals(1)[p];
+        const auto path = route.tables.path(hx.topo(), lids, src,
+                                            lids.base_lid(dst));
+        sim::PktMessage m;
+        m.src = src;
+        m.dst = dst;
+        m.bytes = bytes;
+        m.path = path.channels;
+        msgs.push_back(std::move(m));
+      }
+      const auto result = pktsim.run(msgs);
+      double worst = 0.0;
+      for (double t : result.completion) worst = std::max(worst, t);
+      if (pairs == 1) solo_latency = worst;
+      full_contention = worst / solo_latency;
+      row.push_back(stats::format_fixed(full_contention, 2) + "x");
+    }
+    table.add_row(row);
+    knee.add_row({stats::format_bytes(bytes),
+                  stats::format_fixed(full_contention, 2) + "x"});
+    // Metric names stay byte-count keyed: slowdown_7p_512B etc.
+    std::string size_key =
+        bytes < 1024 ? std::to_string(bytes) + "B"
+                     : std::to_string(bytes / 1024) + "KiB";
+    rs.set("slowdown_7p_" + size_key, full_contention);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Reading: with 7 node pairs per switch the contention "
+              "multiplier approaches 7x once messages no longer fit a single "
+              "MTU; sub-512B messages stay within ~1x-2x, hence the paper's "
+              "512-byte PARX threshold.\n");
+  return rs;
+}
+
+}  // namespace
+
+report::Experiment threshold_calibration_experiment() {
+  return {"threshold_calibration",
+          "Multi-PingPong knee behind the 512-byte PARX threshold",
+          "SS3.2.4", run};
+}
+
+}  // namespace hxsim::bench

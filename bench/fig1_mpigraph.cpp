@@ -1,140 +1,9 @@
-// Figure 1: mpiGraph observable bandwidth for 28 nodes, three planes:
-//   Fat-Tree/ftree (paper: 2.26 GiB/s average)
-//   HyperX/DFSSSP  (paper: 0.84 GiB/s -- up to 7 streams on one cable)
-//   HyperX/PARX    (paper: 1.39 GiB/s, +66 % over DFSSSP)
-// Prints the three heatmaps (ASCII) and the average-bandwidth row.
-//
-// With --trace <file>, additionally exports the observability view of the
-// HyperX/DFSSSP plane: peak per-channel utilisation across all mpiGraph
-// shifts (the shared-cable hotspot of the figure shows up as channels at
-// peak_util 1.0 crossed by up to 7 streams), the flow-solver metrics of
-// every shift, and the DFSSSP routing phase timers.
-#include <algorithm>
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hpp"
-#include "routing/dfsssp.hpp"
-#include "sim/flowsim.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/mpigraph.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-struct Plane {
-  const char* label;
-  const mpi::Cluster* cluster;
-};
-
-/// Observability export of the congested plane (see file comment).
-void export_trace(const bench::BenchArgs& args,
-                  const workloads::PaperSystem& system,
-                  const mpi::Placement& placement, std::int32_t nodes,
-                  std::int64_t bytes) {
-  const mpi::Cluster& hx = system.hx_dfsssp();
-  obs::MetricRegistry reg;
-
-  // Peak fair-share utilisation per channel over the shift sweep, with the
-  // solver traced (levels, freezes, saturated channels) on every shift.
-  sim::FlowSim flows(hx.topo(), hx.link());
-  obs::FlowSolveTrace ftrace;
-  std::vector<double> peak(static_cast<std::size_t>(hx.topo().num_channels()),
-                           0.0);
-  stats::Rng rng(args.seed);
-  for (std::int32_t shift = 1; shift < nodes; ++shift) {
-    std::vector<sim::Flow> round;
-    round.reserve(static_cast<std::size_t>(nodes));
-    for (std::int32_t i = 0; i < nodes; ++i) {
-      const topo::NodeId src = placement.node_of(i);
-      const topo::NodeId dst = placement.node_of((i + shift) % nodes);
-      auto msg = hx.route_message(src, dst, bytes, rng);
-      if (!msg) continue;
-      round.push_back(sim::Flow{std::move(msg->path), bytes});
-    }
-    const std::vector<double> util = flows.channel_utilisation(round, &ftrace);
-    for (std::size_t ch = 0; ch < util.size(); ++ch)
-      peak[ch] = std::max(peak[ch], util[ch]);
-  }
-  ftrace.publish(reg, "flow_solves");
-
-  auto& table = reg.table("hx_channel_util", {"channel", "src_switch",
-                                              "dst_switch", "switch_link",
-                                              "peak_util"});
-  for (topo::ChannelId ch = 0; ch < hx.topo().num_channels(); ++ch) {
-    const std::size_t c = static_cast<std::size_t>(ch);
-    if (peak[c] <= 0.0) continue;
-    const topo::Channel& chan = hx.topo().channel(ch);
-    table.add_row(
-        {static_cast<double>(ch),
-         chan.src.is_switch() ? static_cast<double>(chan.src.index) : -1.0,
-         chan.dst.is_switch() ? static_cast<double>(chan.dst.index) : -1.0,
-         hx.topo().is_switch_channel(ch) ? 1.0 : 0.0, peak[c]});
-  }
-
-  // Routing phase timers: re-run DFSSSP on the plane with the clock on.
-  obs::PhaseTimings timings;
-  routing::DfssspEngine engine;
-  engine.set_timings(&timings);
-  const routing::RouteResult rr = engine.compute(hx.topo(), hx.lids());
-  reg.add_timings("dfsssp_", timings);
-  reg.set("dfsssp_num_vls_used", static_cast<double>(rr.num_vls_used));
-
-  bench::write_trace(args, reg);
-}
-
-}  // namespace
+// Figure 1: mpiGraph observable bandwidth for 28 nodes, three planes.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_fig1_mpigraph.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-  const std::int32_t nodes = args.quick ? 16 : 28;
-
-  std::printf("== Figure 1: mpiGraph bandwidth heatmaps (%d nodes, linear "
-              "placement) ==\n\n",
-              nodes);
-
-  const Plane planes[] = {
-      {"Fat-Tree with ftree routing", &system.ft_ftree()},
-      {"HyperX with DFSSSP routing", &system.hx_dfsssp()},
-      {"HyperX with PARX routing", &system.hx_parx()},
-  };
-
-  const mpi::Placement placement =
-      mpi::Placement::linear(nodes,
-                             mpi::Placement::whole_machine(system.num_nodes()));
-  const double scale_max =
-      system.ft_ftree().link().bandwidth / static_cast<double>(stats::kGiB);
-
-  stats::TextTable table({"plane", "mean GiB/s (off-diag)", "min", "max",
-                          "paper"});
-  const char* paper_values[] = {"2.26", "0.84", "1.39"};
-  bench::CsvSink csv(args, {"plane", "sender", "receiver", "gib_per_s"});
-
-  int idx = 0;
-  for (const Plane& plane : planes) {
-    workloads::MpiGraphOptions opts;
-    opts.seed = args.seed;
-    const stats::Heatmap map =
-        workloads::mpigraph(*plane.cluster, placement, nodes, opts);
-    std::printf("%s\n%s\n", plane.label, map.to_string(scale_max).c_str());
-    table.add_row({plane.label,
-                   stats::format_fixed(map.mean_off_diagonal(), 2),
-                   stats::format_fixed(map.min_value(), 2),
-                   stats::format_fixed(map.max_value(), 2),
-                   paper_values[idx++]});
-    for (std::size_t r = 0; r < map.rows(); ++r)
-      for (std::size_t c = 0; c < map.cols(); ++c)
-        csv.add_row({plane.label, std::to_string(c), std::to_string(r),
-                     stats::format_fixed(map.at(r, c), 4)});
-  }
-  std::printf("%s", table.to_string().c_str());
-
-  if (args.trace_path) {
-    workloads::MpiGraphOptions opts;
-    export_trace(args, system, placement, nodes, opts.bytes);
-  }
-  return 0;
+  return hxsim::bench::run_experiment_main("fig1_mpigraph", argc, argv);
 }

@@ -1,112 +1,9 @@
-// Figure 4: IMB collective latency, relative performance gain of each
-// (topology, routing, placement) combination over the Fat-Tree/ftree/linear
-// baseline, for Bcast, Gather, Scatter, Reduce, Allreduce and Alltoall over
-// node counts 7..672 and message sizes 1 B..4 MiB.
-//
-// Output: one gain matrix per (operation, configuration), rows = message
-// sizes, columns = node counts, cells formatted like the paper ("+0.12",
-// "-0.45", "+Inf").  "." marks combinations skipped for the paper's
-// time/memory constraints (the missing Alltoall boxes).
-#include <cstdio>
-#include <map>
-
-#include "bench_common.hpp"
-#include "stats/gain.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/apps.hpp"
-#include "workloads/imb.hpp"
-
-namespace {
-
-using namespace hxsim;
-using workloads::ImbOp;
-
-/// Mimics the paper's missing Alltoall boxes: full-system Alltoall with
-/// multi-MiB payloads blew the 15-minute walltime there; simulating it here
-/// is merely slow, so we skip the same corner.
-bool skipped(ImbOp op, std::int32_t nodes, std::int64_t bytes) {
-  return op == ImbOp::kAlltoall && nodes >= 448 && bytes > 1024 * 1024;
-}
-
-}  // namespace
+// Figure 4: IMB collective latency gains over the baseline combination.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_fig4_collectives.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-  const std::int32_t machine = system.num_nodes();
-
-  std::vector<std::int32_t> node_counts =
-      workloads::capability_node_counts(false, machine);
-  if (args.quick)
-    node_counts.assign({7, 14, 28});
-
-  bench::CsvSink csv(args, {"op", "config", "nodes", "bytes", "tmin_us",
-                            "gain_vs_baseline"});
-
-  for (const ImbOp op : workloads::imb_figure4_ops()) {
-    std::vector<std::int64_t> sizes = workloads::imb_message_sizes(op);
-    if (args.quick) {
-      std::vector<std::int64_t> trimmed;
-      for (std::size_t i = 0; i < sizes.size(); i += 4)
-        trimmed.push_back(sizes[i]);
-      sizes = std::move(trimmed);
-    }
-
-    // tmin per (config, nodes, size); best over reps, as the paper reports.
-    std::map<std::tuple<std::size_t, std::int32_t, std::int64_t>, double>
-        tmin;
-    for (std::size_t cfg = 0; cfg < system.configs().size(); ++cfg) {
-      const auto& config = system.configs()[cfg];
-      const std::int32_t reps = bench::reps_for(config, args);
-      for (const std::int32_t n : node_counts) {
-        for (std::int32_t rep = 0; rep < reps; ++rep) {
-          const mpi::Placement placement = bench::place(
-              config, n, machine, args.seed + 97 * rep);
-          mpi::Transport transport(*config.cluster, placement,
-                                   args.seed + rep);
-          for (const std::int64_t bytes : sizes) {
-            if (skipped(op, n, bytes)) continue;
-            const double t = transport.execute(
-                workloads::imb_schedule(op, n, bytes));
-            auto [it, inserted] =
-                tmin.try_emplace({cfg, n, bytes}, t);
-            if (!inserted && t < it->second) it->second = t;
-          }
-        }
-      }
-    }
-
-    for (std::size_t cfg = 1; cfg < system.configs().size(); ++cfg) {
-      const auto& config = system.configs()[cfg];
-      std::printf("== Fig. 4 %s: %s (gain vs %s) ==\n",
-                  workloads::to_string(op), config.name.c_str(),
-                  system.baseline().name.c_str());
-      std::vector<std::string> header{"msg size"};
-      for (const std::int32_t n : node_counts)
-        header.push_back(std::to_string(n));
-      stats::TextTable table(header);
-      for (const std::int64_t bytes : sizes) {
-        std::vector<std::string> row{stats::format_bytes(bytes)};
-        for (const std::int32_t n : node_counts) {
-          if (skipped(op, n, bytes)) {
-            row.push_back(".");
-            continue;
-          }
-          const double base = tmin.at({std::size_t{0}, n, bytes});
-          const double cand = tmin.at({cfg, n, bytes});
-          const double gain = stats::relative_gain(
-              base, cand, stats::Direction::kLowerIsBetter);
-          row.push_back(stats::format_gain(gain));
-          csv.add_row({workloads::to_string(op), config.name,
-                       std::to_string(n), std::to_string(bytes),
-                       stats::format_fixed(stats::to_us(cand), 3),
-                       stats::format_gain(gain)});
-        }
-        table.add_row(row);
-      }
-      std::printf("%s\n", table.to_string().c_str());
-    }
-  }
-  return 0;
+  return hxsim::bench::run_experiment_main("fig4_collectives", argc, argv);
 }

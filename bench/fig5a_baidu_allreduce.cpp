@@ -1,85 +1,9 @@
-// Figure 5a: Baidu DeepBench ring allreduce, average latency per array
-// length (4-byte floats, 0 ... 512 Mi elements), relative gain over the
-// Fat-Tree/ftree/linear baseline for the other four combinations.
-#include <cstdio>
-#include <map>
-
-#include "bench_common.hpp"
-#include "mpi/collectives.hpp"
-#include "stats/gain.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/imb.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-/// The x-axis of Figure 5a (array lengths in floats).
-std::vector<std::int64_t> array_lengths(bool quick) {
-  std::vector<std::int64_t> lengths{0,       32,       256,      1024,
-                                    4096,    16384,    65536,    262144,
-                                    1048576, 8388608,  67108864, 536870912};
-  if (quick) lengths.resize(6);
-  return lengths;
-}
-
-}  // namespace
+// Figure 5a: Baidu DeepBench ring allreduce latency gains.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_fig5a_baidu_allreduce.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-  const std::int32_t machine = system.num_nodes();
-
-  std::vector<std::int32_t> node_counts =
-      workloads::capability_node_counts(false, machine);
-  if (args.quick) node_counts.assign({7, 14, 28});
-  const auto lengths = array_lengths(args.quick);
-
-  bench::CsvSink csv(args, {"config", "nodes", "array_len", "tavg_s",
-                            "gain_vs_baseline"});
-
-  std::map<std::tuple<std::size_t, std::int32_t, std::int64_t>, double> best;
-  for (std::size_t cfg = 0; cfg < system.configs().size(); ++cfg) {
-    const auto& config = system.configs()[cfg];
-    const std::int32_t reps = bench::reps_for(config, args);
-    for (const std::int32_t n : node_counts) {
-      for (std::int32_t rep = 0; rep < reps; ++rep) {
-        const mpi::Placement placement =
-            bench::place(config, n, machine, args.seed + 131 * rep);
-        mpi::Transport transport(*config.cluster, placement, args.seed + rep);
-        for (const std::int64_t len : lengths) {
-          const double t = transport.execute(
-              mpi::collectives::allreduce_ring(n, len * 4));
-          auto [it, inserted] = best.try_emplace({cfg, n, len}, t);
-          if (!inserted && t < it->second) it->second = t;
-        }
-      }
-    }
-  }
-
-  for (std::size_t cfg = 1; cfg < system.configs().size(); ++cfg) {
-    const auto& config = system.configs()[cfg];
-    std::printf("== Fig. 5a Baidu ring allreduce: %s (gain vs %s) ==\n",
-                config.name.c_str(), system.baseline().name.c_str());
-    std::vector<std::string> header{"array len"};
-    for (const std::int32_t n : node_counts)
-      header.push_back(std::to_string(n));
-    stats::TextTable table(header);
-    for (const std::int64_t len : lengths) {
-      std::vector<std::string> row{std::to_string(len)};
-      for (const std::int32_t n : node_counts) {
-        const double base = best.at({std::size_t{0}, n, len});
-        const double cand = best.at({cfg, n, len});
-        const double gain = stats::relative_gain(
-            base, cand, stats::Direction::kLowerIsBetter);
-        row.push_back(stats::format_gain(gain));
-        csv.add_row({config.name, std::to_string(n), std::to_string(len),
-                     stats::format_fixed(cand, 6), stats::format_gain(gain)});
-      }
-      table.add_row(row);
-    }
-    std::printf("%s\n", table.to_string().c_str());
-  }
-  return 0;
+  return hxsim::bench::run_experiment_main("fig5a_baidu_allreduce", argc, argv);
 }

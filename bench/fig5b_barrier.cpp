@@ -1,62 +1,9 @@
-// Figure 5b: IMB Barrier latency whiskers per node count for all five
-// combinations.  The headline result: the PARX configuration pays a
-// 2.8x-6.9x software penalty because the multi-LID bfo PML is far less
-// tuned than ob1.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "mpi/collectives.hpp"
-#include "stats/gain.hpp"
-#include "stats/summary.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/imb.hpp"
+// Figure 5b: IMB Barrier latency whiskers per node count.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_fig5b_barrier.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  using namespace hxsim;
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-  const std::int32_t machine = system.num_nodes();
-
-  std::vector<std::int32_t> node_counts =
-      workloads::capability_node_counts(false, machine);
-  if (args.quick) node_counts.assign({7, 14, 28});
-  const std::int32_t runs = 10;  // the paper's ten repetitions
-
-  bench::CsvSink csv(args, {"config", "nodes", "run", "latency_us"});
-  std::vector<std::vector<double>> best_per_config(system.configs().size());
-
-  std::printf("== Fig. 5b IMB Barrier latency [us], whiskers over %d runs "
-              "==\n\n", runs);
-  for (std::size_t cfg = 0; cfg < system.configs().size(); ++cfg) {
-    const auto& config = system.configs()[cfg];
-    std::printf("%s\n", config.name.c_str());
-    stats::TextTable table({"nodes", "min", "q25", "median", "q75", "max",
-                            "gain vs baseline"});
-    for (const std::int32_t n : node_counts) {
-      std::vector<double> lat_us;
-      for (std::int32_t run = 0; run < runs; ++run) {
-        const mpi::Placement placement =
-            bench::place(config, n, machine, args.seed + 7919 * run);
-        mpi::Transport transport(*config.cluster, placement, args.seed + run);
-        const double t = transport.execute(
-            mpi::collectives::barrier_dissemination(n));
-        lat_us.push_back(stats::to_us(t));
-        csv.add_row({config.name, std::to_string(n), std::to_string(run),
-                     stats::format_fixed(stats::to_us(t), 3)});
-      }
-      const stats::Summary s = stats::summarize(lat_us);
-      best_per_config[cfg].push_back(s.min);
-      const double base = best_per_config[0][best_per_config[cfg].size() - 1];
-      table.add_row({std::to_string(n), stats::format_fixed(s.min, 2),
-                     stats::format_fixed(s.q25, 2),
-                     stats::format_fixed(s.median, 2),
-                     stats::format_fixed(s.q75, 2),
-                     stats::format_fixed(s.max, 2),
-                     stats::format_gain(stats::relative_gain(
-                         base, s.min, stats::Direction::kLowerIsBetter))});
-    }
-    std::printf("%s\n", table.to_string().c_str());
-  }
-  return 0;
+  return hxsim::bench::run_experiment_main("fig5b_barrier", argc, argv);
 }

@@ -1,81 +1,9 @@
-// Figure 5c: Netgauge effective bisection bandwidth -- random bisections
-// with 1 MiB streams, whiskers over the sample distribution, per node
-// count and combination.  The paper's headline: PARX nearly doubles the
-// 14-node dense-allocation eBB and wins 2-6 % in the mid range, but loses
-// at full scale where global detours add congestion.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "stats/gain.hpp"
-#include "stats/summary.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/ebb.hpp"
-#include "workloads/imb.hpp"
+// Figure 5c: Netgauge effective bisection bandwidth whiskers.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_fig5c_ebb.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  using namespace hxsim;
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-  const std::int32_t machine = system.num_nodes();
-
-  // The figure mixes both capability sequences (4, 8, 14, 16, 28, ...).
-  std::vector<std::int32_t> node_counts;
-  {
-    const auto a = workloads::capability_node_counts(false, machine);
-    const auto b = workloads::capability_node_counts(true, machine);
-    node_counts.insert(node_counts.end(), a.begin(), a.end());
-    node_counts.insert(node_counts.end(), b.begin(), b.end());
-    std::sort(node_counts.begin(), node_counts.end());
-    node_counts.erase(
-        std::unique(node_counts.begin(), node_counts.end()),
-        node_counts.end());
-  }
-  if (args.quick) node_counts.assign({8, 14, 16, 28});
-
-  workloads::EbbOptions ebb_opts;
-  ebb_opts.samples = args.quick ? 50 : 250;  // paper: 1000 (slow but exact)
-  ebb_opts.seed = args.seed;
-
-  bench::CsvSink csv(args,
-                     {"config", "nodes", "median_gibs", "min", "max",
-                      "gain_vs_baseline"});
-
-  std::printf("== Fig. 5c effective bisection bandwidth [GiB/s per pair], "
-              "%d random bisections ==\n\n", ebb_opts.samples);
-
-  std::vector<double> baseline_median;
-  for (std::size_t cfg = 0; cfg < system.configs().size(); ++cfg) {
-    const auto& config = system.configs()[cfg];
-    std::printf("%s\n", config.name.c_str());
-    stats::TextTable table({"nodes", "min", "q25", "median", "q75", "max",
-                            "gain vs baseline"});
-    std::size_t row_idx = 0;
-    for (const std::int32_t n : node_counts) {
-      if (n % 2 != 0 && n != 7) continue;  // eBB needs even node counts
-      const std::int32_t even_n = n - (n % 2);
-      const mpi::Placement placement =
-          bench::place(config, even_n, machine, args.seed);
-      const workloads::EbbResult result =
-          workloads::effective_bisection_bandwidth(*config.cluster, placement,
-                                                   even_n, ebb_opts);
-      const stats::Summary s = result.summary();
-      if (cfg == 0) baseline_median.push_back(s.median);
-      const double base = baseline_median[row_idx++];
-      const double gain = stats::relative_gain(
-          base, s.median, stats::Direction::kHigherIsBetter);
-      table.add_row({std::to_string(even_n), stats::format_fixed(s.min, 2),
-                     stats::format_fixed(s.q25, 2),
-                     stats::format_fixed(s.median, 2),
-                     stats::format_fixed(s.q75, 2),
-                     stats::format_fixed(s.max, 2),
-                     stats::format_gain(gain)});
-      csv.add_row({config.name, std::to_string(even_n),
-                   stats::format_fixed(s.median, 4),
-                   stats::format_fixed(s.min, 4),
-                   stats::format_fixed(s.max, 4), stats::format_gain(gain)});
-    }
-    std::printf("%s\n", table.to_string().c_str());
-  }
-  return 0;
+  return hxsim::bench::run_experiment_main("fig5c_ebb", argc, argv);
 }

@@ -1,106 +1,9 @@
-// Figure 6a-6i: solver-kernel runtime of the nine proxy applications,
-// whiskers over repetitions, per node count and combination (lower is
-// better).  Runs exceeding the paper's 15-minute walltime are reported as
-// missing ("-Inf" gain), exactly as in the paper's plots.
-//
-// The PARX combination follows the paper's full procedure: the app's
-// communication profile is recorded, converted to a node demand file via
-// the placement, and PARX re-routes the fabric before the run
-// (Section 4.4.3).
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "stats/gain.hpp"
-#include "stats/summary.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/apps.hpp"
-#include "workloads/imb.hpp"
-#include "workloads/paper_system.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-/// Kernel runtime of one run; +Inf when the walltime limit is exceeded.
-double one_run(const mpi::Cluster& cluster, const mpi::Placement& placement,
-               const workloads::AppWorkload& app, std::uint64_t seed) {
-  mpi::Transport transport(cluster, placement, seed);
-  const double t = workloads::run_workload(app, transport);
-  return t > workloads::kWalltimeLimit ? stats::kFailed : t;
-}
-
-}  // namespace
+// Figure 6a-6i: solver-kernel runtime of the nine proxy applications.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_fig6_apps.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-  const std::int32_t machine = system.num_nodes();
-
-  bench::CsvSink csv(args, {"app", "config", "nodes", "best_runtime_s",
-                            "gain_vs_baseline"});
-
-  for (const workloads::AppId id : workloads::proxy_apps()) {
-    const workloads::AppWorkload probe = workloads::make_app(id, 4);
-    std::vector<std::int32_t> node_counts = workloads::capability_node_counts(
-        probe.power_of_two_scaling, machine);
-    if (args.quick) node_counts.resize(std::min<std::size_t>(
-        node_counts.size(), 3));
-
-    std::printf("== Fig. 6 %s kernel runtime [s] (lower is better) ==\n",
-                probe.name.c_str());
-    std::vector<std::string> header{"config"};
-    for (const std::int32_t n : node_counts)
-      header.push_back(std::to_string(n));
-    stats::TextTable table(header);
-
-    std::vector<double> baseline_best;
-    for (std::size_t cfg = 0; cfg < system.configs().size(); ++cfg) {
-      const auto& config = system.configs()[cfg];
-      const bool is_parx = config.cluster == &system.hx_parx();
-      const std::int32_t reps = bench::reps_for(config, args);
-      std::vector<std::string> row{config.name};
-      for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
-        const std::int32_t n = node_counts[ni];
-        const workloads::AppWorkload app = workloads::make_app(id, n);
-        // SAR-style pipeline for the PARX plane: record the profile,
-        // resolve it to node demands via the first placement, re-route.
-        // One re-route per (app, node count): the profile itself is
-        // placement-oblivious (paper footnote 6), and a full-fabric PARX
-        // recompute per repetition would dominate the bench's wall time.
-        std::optional<mpi::Cluster> rerouted;
-        if (is_parx) {
-          mpi::CommProfile profile(n);
-          mpi::Transport::accumulate(app.iteration_comm, profile);
-          const mpi::Placement placement =
-              bench::place(config, n, machine, args.seed);
-          rerouted = system.make_parx_cluster(
-              profile.to_demands(placement, machine));
-        }
-        double best = stats::kFailed;
-        for (std::int32_t rep = 0; rep < reps; ++rep) {
-          const mpi::Placement placement =
-              bench::place(config, n, machine, args.seed + 211 * rep);
-          const mpi::Cluster& plane =
-              rerouted ? *rerouted : *config.cluster;
-          best = std::min(best,
-                          one_run(plane, placement, app, args.seed + rep));
-        }
-        if (cfg == 0) baseline_best.push_back(best);
-        const double gain = stats::relative_gain(
-            baseline_best[ni], best, stats::Direction::kLowerIsBetter);
-        row.push_back(best == stats::kFailed
-                          ? "miss"
-                          : stats::format_fixed(best, 1) + " (" +
-                                stats::format_gain(gain) + ")");
-        csv.add_row({probe.name, config.name, std::to_string(n),
-                     best == stats::kFailed ? "inf"
-                                            : stats::format_fixed(best, 3),
-                     stats::format_gain(gain)});
-      }
-      table.add_row(row);
-    }
-    std::printf("%s\n", table.to_string().c_str());
-  }
-  return 0;
+  return hxsim::bench::run_experiment_main("fig6_apps", argc, argv);
 }

@@ -1,75 +1,9 @@
-// Figure 6j-6l: the x500 benchmarks -- HPL and HPCG compute performance
-// [Gflop/s] and Graph500 traversal speed [GTEPS] -- per node count and
-// combination (higher is better).
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "stats/gain.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/apps.hpp"
-#include "workloads/imb.hpp"
-#include "workloads/x500.hpp"
+// Figure 6j-6l: HPL/HPCG Gflop/s and Graph500 GTEPS per combination.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_fig6_x500.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  using namespace hxsim;
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-  const std::int32_t machine = system.num_nodes();
-
-  bench::CsvSink csv(args, {"bench", "config", "nodes", "metric",
-                            "gain_vs_baseline"});
-
-  for (const workloads::AppId id : workloads::x500_apps()) {
-    const workloads::AppWorkload probe = workloads::make_app(id, 4);
-    const bool is_graph = id == workloads::AppId::kGraph500;
-    std::vector<std::int32_t> node_counts = workloads::capability_node_counts(
-        probe.power_of_two_scaling, machine);
-    if (args.quick) node_counts.resize(std::min<std::size_t>(
-        node_counts.size(), 3));
-
-    std::printf("== Fig. 6 %s [%s] (higher is better) ==\n",
-                probe.name.c_str(), is_graph ? "GTEPS" : "Gflop/s");
-    std::vector<std::string> header{"config"};
-    for (const std::int32_t n : node_counts)
-      header.push_back(std::to_string(n));
-    stats::TextTable table(header);
-
-    std::vector<double> baseline_best;
-    for (std::size_t cfg = 0; cfg < system.configs().size(); ++cfg) {
-      const auto& config = system.configs()[cfg];
-      const std::int32_t reps = bench::reps_for(config, args);
-      std::vector<std::string> row{config.name};
-      for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
-        const std::int32_t n = node_counts[ni];
-        const workloads::AppWorkload app = workloads::make_app(id, n);
-        double best_metric = 0.0;
-        for (std::int32_t rep = 0; rep < reps; ++rep) {
-          const mpi::Placement placement =
-              bench::place(config, n, machine, args.seed + 307 * rep);
-          mpi::Transport transport(*config.cluster, placement,
-                                   args.seed + rep);
-          const double t = workloads::run_workload(app, transport);
-          if (t > workloads::kWalltimeLimit) continue;
-          const double metric =
-              is_graph ? workloads::gteps(app, t) : workloads::gflops(app, t);
-          best_metric = std::max(best_metric, metric);
-        }
-        if (cfg == 0) baseline_best.push_back(best_metric);
-        const double gain = stats::relative_gain(
-            baseline_best[ni], best_metric,
-            stats::Direction::kHigherIsBetter);
-        row.push_back(best_metric == 0.0
-                          ? "miss"
-                          : stats::format_fixed(best_metric, 1) + " (" +
-                                stats::format_gain(gain) + ")");
-        csv.add_row({probe.name, config.name, std::to_string(n),
-                     stats::format_fixed(best_metric, 3),
-                     stats::format_gain(gain)});
-      }
-      table.add_row(row);
-    }
-    std::printf("%s\n", table.to_string().c_str());
-  }
-  return 0;
+  return hxsim::bench::run_experiment_main("fig6_x500", argc, argv);
 }

@@ -1,77 +1,9 @@
-// Figure 7: capacity / system-throughput evaluation.  Fourteen
-// applications run concurrently on dedicated 32/56-node allocations
-// (664 of 672 nodes, 98.8 % occupancy) for a simulated 3-hour window;
-// the metric is completed runs per application and the total, compared
-// across the five combinations.  Paper headline: HyperX/DFSSSP/linear
-// finishes 12.7 % more jobs than the Fat-Tree baseline.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "stats/gain.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/capacity.hpp"
+// Figure 7: capacity / system-throughput evaluation.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_fig7_capacity.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  using namespace hxsim;
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-
-  workloads::CapacityOptions cap_opts;
-  cap_opts.duration = args.quick ? 1800.0 : 3.0 * 3600.0;
-  cap_opts.seed = args.seed;
-
-  std::printf("== Fig. 7 capacity runs: 14 concurrent applications, "
-              "%.1f h window ==\n\n", cap_opts.duration / 3600.0);
-
-  bench::CsvSink csv(args, {"config", "app", "runs_completed"});
-  std::vector<std::string> app_names;
-  std::vector<std::vector<std::int32_t>> per_config_runs;
-  std::int32_t baseline_total = 0;
-
-  for (std::size_t cfg = 0; cfg < system.configs().size(); ++cfg) {
-    const auto& config = system.configs()[cfg];
-    stats::Rng rng(args.seed + cfg);
-    const auto pool =
-        mpi::Placement::whole_machine(system.num_nodes());
-    const auto jobs =
-        workloads::paper_capacity_mix(pool, config.placement, rng);
-    const workloads::CapacityResult result =
-        workloads::run_capacity(*config.cluster, jobs, cap_opts);
-
-    if (cfg == 0) {
-      app_names = result.app_names;
-      baseline_total = result.total();
-    }
-    per_config_runs.push_back(result.runs_completed);
-    for (std::size_t j = 0; j < result.app_names.size(); ++j)
-      csv.add_row({config.name, result.app_names[j],
-                   std::to_string(result.runs_completed[j])});
-  }
-
-  std::vector<std::string> header{"app"};
-  for (const auto& config : system.configs()) header.push_back(config.name);
-  stats::TextTable table(header);
-  for (std::size_t j = 0; j < app_names.size(); ++j) {
-    std::vector<std::string> row{app_names[j]};
-    for (const auto& runs : per_config_runs)
-      row.push_back(std::to_string(runs[j]));
-    table.add_row(row);
-  }
-  std::vector<std::string> totals{"TOTAL"};
-  for (const auto& runs : per_config_runs) {
-    std::int32_t sum = 0;
-    for (std::int32_t r : runs) sum += r;
-    totals.push_back(std::to_string(sum) + " (" +
-                     stats::format_gain(stats::relative_gain(
-                         static_cast<double>(baseline_total),
-                         static_cast<double>(sum),
-                         stats::Direction::kHigherIsBetter)) +
-                     ")");
-  }
-  table.add_row(totals);
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf("(paper: HyperX/DFSSSP/linear completed +12.7%% runs over the "
-              "baseline; random placement hurt MILC)\n");
-  return 0;
+  return hxsim::bench::run_experiment_main("fig7_capacity", argc, argv);
 }

@@ -1,76 +1,9 @@
-// Table 1: the valid virtual destination LIDx per (source quadrant,
-// destination quadrant, message class), printed from the implementation,
-// plus the R1-R4 rule list and the measured path-length consequences on
-// the 12x8 HyperX (minimal for small, detoured for large).
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "core/lid_choice.hpp"
-#include "core/quadrant.hpp"
-#include "stats/table.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-std::string cell(std::int32_t s, std::int32_t d, core::MsgClass cls) {
-  const core::LidChoice c = core::parx_lid_options(s, d, cls);
-  std::string out = std::to_string(c.options[0]);
-  if (c.count == 2) out += " | " + std::to_string(c.options[1]);
-  return out;
-}
-
-void print_table(core::MsgClass cls, const char* title) {
-  std::printf("%s\n", title);
-  stats::TextTable t({"s \\ d", "Q0", "Q1", "Q2", "Q3"});
-  for (std::int32_t s = 0; s < 4; ++s) {
-    std::vector<std::string> row{"Q" + std::to_string(s)};
-    for (std::int32_t d = 0; d < 4; ++d) row.push_back(cell(s, d, cls));
-    t.add_row(row);
-  }
-  std::printf("%s\n", t.to_string().c_str());
-}
-
-}  // namespace
+// Table 1: valid virtual destination LIDx per quadrant pair and class.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_table1_rules.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  std::printf("== Table 1: virtual destination LIDx selection ==\n\n");
-  std::printf("Rules (Section 3.2.1):\n"
-              "  R1: LID0 -> remove all links within the left half\n"
-              "  R2: LID1 -> remove all links within the right half\n"
-              "  R3: LID2 -> remove all links within the top half\n"
-              "  R4: LID3 -> remove all links within the bottom half\n"
-              "Threshold: small <= %lld bytes (Section 3.2.4)\n\n",
-              static_cast<long long>(core::kParxSmallLargeThreshold));
-  print_table(core::MsgClass::kSmall, "(a) x for small messages");
-  print_table(core::MsgClass::kLarge, "(b) x for large messages");
-
-  // Demonstrate the consequence on the real lattice: average switch hops
-  // per class between two same-quadrant switches.
-  workloads::SystemOptions opts = args.system_options();
-  const workloads::PaperSystem system(opts);
-  const auto& hx = system.hyperx();
-  const auto& cluster = system.hx_parx();
-  stats::Rng rng(args.seed);
-
-  double small_hops = 0.0;
-  double large_hops = 0.0;
-  std::int32_t pairs = 0;
-  for (topo::NodeId src = 0; src < 14; ++src) {
-    for (topo::NodeId dst = 0; dst < 14; ++dst) {
-      if (hx.topo().attach_switch(src) == hx.topo().attach_switch(dst))
-        continue;
-      const auto s = cluster.route_message(src, dst, 256, rng);
-      const auto l = cluster.route_message(src, dst, 1 << 20, rng);
-      small_hops += s ? s->path.size() - 2.0 : 0.0;
-      large_hops += l ? l->path.size() - 2.0 : 0.0;
-      ++pairs;
-    }
-  }
-  std::printf("Measured consequence (adjacent same-quadrant switches, %d "
-              "pairs):\n  small-class avg switch hops: %.2f (minimal = 1)\n"
-              "  large-class avg switch hops: %.2f (forced detour)\n",
-              pairs, small_hops / pairs, large_hops / pairs);
-  return 0;
+  return hxsim::bench::run_experiment_main("table1_rules", argc, argv);
 }

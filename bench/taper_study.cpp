@@ -1,83 +1,9 @@
-// Section 2.1's cost/throughput trade, measured:
-//   "To reduce cost, large systems can be deployed with less bisection
-//    bandwidth by oversubscribing the lowest level of the tree.  For
-//    example, a 2-to-1 oversubscription cuts the network cost by more
-//    than 50% however reduces the uniform random throughput to 50%."
-//
-// Sweeps the leaf taper of the paper's 18-ary 3-tree and reports leaf-stage
-// cable counts (the taper removes leaf uplinks; a production deployment
-// would shrink the upper stages proportionally, multiplying the savings)
-// and the uniform-traffic saturation throughput, next to the HyperX's
-// cost point (57.1 % bisection, uniform throughput ~0.8 under static
-// routing -- see bench/uniform_random_throughput).
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "routing/ftree.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "topo/fat_tree.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-double uniform_saturation(const mpi::Cluster& cluster, std::uint64_t seed) {
-  const std::int32_t n = cluster.num_nodes();
-  std::vector<double> load(
-      static_cast<std::size_t>(cluster.topo().num_channels()), 0.0);
-  stats::Rng rng(seed);
-  const double w = 1.0 / static_cast<double>(n - 1);
-  for (topo::NodeId i = 0; i < n; ++i)
-    for (topo::NodeId j = 0; j < n; ++j) {
-      if (i == j) continue;
-      const auto msg = cluster.route_message(i, j, 1 << 20, rng);
-      if (!msg) continue;
-      for (topo::ChannelId ch : msg->path)
-        load[static_cast<std::size_t>(ch)] += w;
-    }
-  double worst = 0.0;
-  for (double l : load) worst = std::max(worst, l);
-  return worst > 0.0 ? std::min(1.0, 1.0 / worst) : 1.0;
-}
-
-}  // namespace
+// Section 2.1's cost/throughput trade: fat-tree taper sweep.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_taper_study.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-
-  std::printf("== Fat-tree leaf taper study (Section 2.1) ==\n\n");
-  stats::TextTable table({"taper", "leaf uplink cables", "uniform alpha",
-                          "expectation"});
-  for (const std::int32_t taper : {1, 2, 3, 6}) {
-    topo::FatTreeParams p = topo::paper_fat_tree_params();
-    p.taper = taper;
-    const topo::FatTree ft(p);
-    routing::LidSpace lids =
-        routing::LidSpace::consecutive(ft.topo().num_terminals(), 0);
-    routing::FtreeEngine engine(ft);
-    const mpi::Cluster cluster(ft.topo(), lids,
-                               engine.compute(ft.topo(), lids),
-                               mpi::make_ob1());
-    // Leaf-stage cables = populated-leaf uplinks (arity/taper each).
-    const std::int64_t leaf_cables =
-        static_cast<std::int64_t>(p.populated_leaves) * (p.arity / taper);
-    const double alpha = uniform_saturation(cluster, args.seed);
-    std::string expect;
-    if (taper == 1)
-      expect = "full bisection: ~1.0";
-    else
-      expect = "~1/" + std::to_string(taper) +
-               " (x" + std::to_string(taper) + " fewer leaf cables)";
-    table.add_row({std::to_string(taper) + ":1",
-                   std::to_string(leaf_cables),
-                   stats::format_fixed(alpha, 2), expect});
-  }
-  std::printf("%s", table.to_string().c_str());
-  std::printf("\n(Paper Section 2.2: the 12x8 HyperX sits at 57.1%% offered "
-              "bisection with uniform alpha ~0.8 under static minimal "
-              "routing -- between the 1:1 and 2:1 trees at a fraction of "
-              "either's cable count; that is the cost argument for the "
-              "direct topology.)\n");
-  return 0;
+  return hxsim::bench::run_experiment_main("taper_study", argc, argv);
 }

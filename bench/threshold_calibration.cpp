@@ -1,75 +1,9 @@
-// Section 3.2.4 calibration: at which message size does congestion on the
-// single cable between two HyperX switches start to dominate latency?
-// Reproduces the Multi-PingPong / mpiGraph experiment behind the paper's
-// 512-byte small/large threshold, using the packet-level simulator.
-//
-// For k = 1..7 node pairs per switch pair, measure the per-message latency
-// of k concurrent ping-pongs crossing one cable, relative to a single
-// uncontended ping-pong.  The threshold is the size where the 7-pair
-// slowdown exceeds 1.5x.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "routing/dfsssp.hpp"
-#include "sim/pktsim.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "topo/hyperx.hpp"
+// Section 3.2.4 calibration: congestion knee of the single-cable link.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_threshold_calibration.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  using namespace hxsim;
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  (void)args;
-
-  const topo::HyperX hx(topo::paper_hyperx_params());
-  routing::LidSpace lids =
-      routing::LidSpace::consecutive(hx.topo().num_terminals(), 0);
-  routing::DfssspEngine engine(8);
-  const routing::RouteResult route = engine.compute(hx.topo(), lids);
-
-  sim::PktSimConfig cfg;
-  sim::PktSim pktsim(hx.topo(), cfg);
-
-  std::printf("== Small/large threshold calibration (PktSim, two adjacent "
-              "12x8 switches) ==\n\n");
-  std::vector<std::int64_t> sizes;
-  for (std::int64_t b = 64; b <= 64 * 1024; b *= 2) sizes.push_back(b);
-
-  std::vector<std::string> header{"msg size"};
-  for (std::int32_t k = 1; k <= 7; ++k)
-    header.push_back(std::to_string(k) + " pairs");
-  stats::TextTable table(header);
-
-  for (const std::int64_t bytes : sizes) {
-    std::vector<std::string> row{stats::format_bytes(bytes)};
-    double solo_latency = 0.0;
-    for (std::int32_t pairs = 1; pairs <= 7; ++pairs) {
-      std::vector<sim::PktMessage> msgs;
-      for (std::int32_t p = 0; p < pairs; ++p) {
-        // Node p on switch 0 streams to node p on switch 1 (7 per switch).
-        const topo::NodeId src = hx.topo().switch_terminals(0)[p];
-        const topo::NodeId dst = hx.topo().switch_terminals(1)[p];
-        const auto path = route.tables.path(hx.topo(), lids, src,
-                                            lids.base_lid(dst));
-        sim::PktMessage m;
-        m.src = src;
-        m.dst = dst;
-        m.bytes = bytes;
-        m.path = path.channels;
-        msgs.push_back(std::move(m));
-      }
-      const auto result = pktsim.run(msgs);
-      double worst = 0.0;
-      for (double t : result.completion) worst = std::max(worst, t);
-      if (pairs == 1) solo_latency = worst;
-      row.push_back(stats::format_fixed(worst / solo_latency, 2) + "x");
-    }
-    table.add_row(row);
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf("Reading: with 7 node pairs per switch the contention "
-              "multiplier approaches 7x once messages no longer fit a single "
-              "MTU; sub-512B messages stay within ~1x-2x, hence the paper's "
-              "512-byte PARX threshold.\n");
-  return 0;
+  return hxsim::bench::run_experiment_main("threshold_calibration", argc, argv);
 }

@@ -1,89 +1,9 @@
-// Section 2 numbers: switch/terminal/cable counts of both planes, the
-// HyperX bisection ratio (paper: 57.1 %), the missing-cable degradation,
-// and routed path-length statistics per engine.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "stats/summary.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/paper_system.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-stats::Summary path_lengths(const mpi::Cluster& cluster, std::uint64_t seed,
-                            std::int32_t samples, std::int64_t bytes = 1024) {
-  stats::Rng rng(seed);
-  std::vector<double> hops;
-  const std::int32_t n = cluster.num_nodes();
-  for (std::int32_t i = 0; i < samples; ++i) {
-    const auto src = static_cast<topo::NodeId>(rng.next_below(n));
-    const auto dst = static_cast<topo::NodeId>(rng.next_below(n));
-    if (src == dst) continue;
-    const auto msg = cluster.route_message(src, dst, bytes, rng);
-    if (msg)
-      hops.push_back(static_cast<double>(msg->path.size()) - 2.0);
-  }
-  return stats::summarize(hops);
-}
-
-}  // namespace
+// Section 2 numbers: plane properties, bisection ratio, path lengths.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_topology_properties.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const workloads::PaperSystem system(args.system_options());
-  const auto& ft = system.fat_tree();
-  const auto& hx = system.hyperx();
-
-  std::printf("== Topology properties (Section 2) ==\n\n");
-  stats::TextTable t({"property", "Fat-Tree", "HyperX", "paper"});
-  t.add_row({"switches", std::to_string(ft.topo().num_switches()),
-             std::to_string(hx.topo().num_switches()),
-             "972 (3x324) / 96"});
-  t.add_row({"terminals", std::to_string(ft.topo().num_terminals()),
-             std::to_string(hx.topo().num_terminals()), "672 / 672"});
-  t.add_row({"cables (enabled)",
-             std::to_string(ft.topo().num_switch_links()),
-             std::to_string(hx.topo().num_switch_links()),
-             "-197 / -15 missing"});
-  t.add_row({"cables (total)",
-             std::to_string(ft.topo().num_switch_links(false)),
-             std::to_string(hx.topo().num_switch_links(false)),
-             "11664 / 864"});
-  t.add_row({"bisection ratio", "1.00 (undersubscribed)",
-             stats::format_fixed(hx.bisection_ratio(), 4), "full / 0.571"});
-  t.add_row({"connected",
-             ft.topo().switches_connected() ? "yes" : "NO",
-             hx.topo().switches_connected() ? "yes" : "NO", "yes / yes"});
-  std::printf("%s\n", t.to_string().c_str());
-
-  std::printf("Routed switch-hop statistics (1000 random pairs):\n");
-  stats::TextTable p({"plane/routing", "min", "median", "max", "VLs"});
-  struct Row {
-    const char* name;
-    const mpi::Cluster* cluster;
-    std::int64_t bytes;
-  } rows[] = {
-      {"Fat-Tree / ftree", &system.ft_ftree(), 1024},
-      {"Fat-Tree / SSSP", &system.ft_sssp(), 1024},
-      {"HyperX / DFSSSP", &system.hx_dfsssp(), 1024},
-      {"HyperX / PARX (small msgs)", &system.hx_parx(), 256},
-      {"HyperX / PARX (large msgs)", &system.hx_parx(), 1 << 20},
-  };
-  for (const Row& row : rows) {
-    const stats::Summary s =
-        path_lengths(*row.cluster, args.seed, 1000, row.bytes);
-    p.add_row({row.name, stats::format_fixed(s.min, 0),
-               stats::format_fixed(s.median, 0),
-               stats::format_fixed(s.max, 0),
-               std::to_string(row.cluster->route().num_vls_used)});
-  }
-  std::printf("%s", p.to_string().c_str());
-  std::printf(
-      "\n(paper: DFSSSP needs 3 VLs on the 12x8, PARX 5-8; our greedy\n"
-      " Pearce-Kelly layering packs the same path sets into fewer lanes,\n"
-      " which only helps -- fewer lanes than the QDR budget of 8)\n");
-  return 0;
+  return hxsim::bench::run_experiment_main("topology_properties", argc, argv);
 }

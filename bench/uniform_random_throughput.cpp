@@ -1,161 +1,9 @@
-// Section 2.2's design claims, measured:
-//   "A HyperX network designed with only 50 % bisection bandwidth can
-//    still provide 100 % throughput for uniform random [traffic] ...
-//    however, the worst case traffic will only achieve 50 % throughput."
-//   "[A Folded Clos] must be provisioned with 100 % bisection bandwidth
-//    [for] full throughput for uniform random traffic."
-//
-// Metric: saturation throughput of a traffic *matrix* under the routed
-// paths -- the largest per-node injection fraction alpha such that
-// alpha x matrix fits every channel:  alpha = min over channels of
-// capacity / offered-load.  Three matrices:
-//   - uniform: every node spreads 1 unit evenly over all other nodes
-//     (the HyperX design point);
-//   - random permutation (admissible point-to-point traffic);
-//   - bisector adversarial: all traffic crosses the HyperX's weakest cut.
-#include <algorithm>
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hpp"
-#include "core/quadrant.hpp"
-#include "sim/flowsim.hpp"
-#include "stats/table.hpp"
-#include "stats/units.hpp"
-#include "workloads/paper_system.hpp"
-
-namespace {
-
-using namespace hxsim;
-
-struct Demand {
-  topo::NodeId src;
-  topo::NodeId dst;
-  double weight;  // fraction of the source's unit injection
-};
-
-/// alpha = min over channels of capacity / load (capacity == 1 unit).
-double saturation_throughput(const mpi::Cluster& cluster,
-                             const std::vector<Demand>& demands,
-                             std::uint64_t seed) {
-  std::vector<double> load(
-      static_cast<std::size_t>(cluster.topo().num_channels()), 0.0);
-  stats::Rng rng(seed);
-  for (const Demand& d : demands) {
-    auto msg = cluster.route_message(d.src, d.dst, 1 << 20, rng);
-    if (!msg) continue;
-    for (topo::ChannelId ch : msg->path)
-      load[static_cast<std::size_t>(ch)] += d.weight;
-  }
-  double worst = 0.0;
-  for (double l : load) worst = std::max(worst, l);
-  return worst > 0.0 ? std::min(1.0, 1.0 / worst) : 1.0;
-}
-
-/// Complementary metric: mean max-min fair rate (fraction of injection
-/// bandwidth) -- less pessimistic than the worst-channel alpha, because
-/// uncongested flows keep their full share.
-double mean_fair_throughput(const mpi::Cluster& cluster,
-                            const std::vector<Demand>& demands,
-                            std::uint64_t seed) {
-  sim::FlowSim flowsim(cluster.topo(), cluster.link());
-  stats::Rng rng(seed);
-  std::vector<sim::Flow> flows;
-  for (const Demand& d : demands) {
-    if (d.weight < 1.0) continue;  // per-flow metric: permutation rows only
-    auto msg = cluster.route_message(d.src, d.dst, 1 << 20, rng);
-    if (!msg) continue;
-    flows.push_back(sim::Flow{std::move(msg->path), 1 << 20});
-  }
-  if (flows.empty()) return 0.0;
-  const auto rates = flowsim.fair_rates(flows);
-  double mean = 0.0;
-  for (double r : rates) mean += r;
-  return mean / static_cast<double>(rates.size()) / cluster.link().bandwidth;
-}
-
-}  // namespace
+// Section 2.2's design claims: throughput of the 50 % bisection HyperX.
+// Thin wrapper: the measurement core lives in
+// experiments/exp_uniform_random_throughput.cpp as a registered report::Experiment; this
+// binary keeps the historical CLI and stdout.
+#include "experiments/experiments.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  workloads::SystemOptions opts = args.system_options();
-  opts.with_faults = false;  // measure the *design*, not the degradation
-  const workloads::PaperSystem system(opts);
-  const std::int32_t n = system.num_nodes();
-  const auto& hx = system.hyperx();
-  stats::Rng rng(args.seed);
-
-  auto uniform = [&] {
-    std::vector<Demand> demands;
-    demands.reserve(static_cast<std::size_t>(n) * (n - 1));
-    const double w = 1.0 / static_cast<double>(n - 1);
-    for (topo::NodeId i = 0; i < n; ++i)
-      for (topo::NodeId j = 0; j < n; ++j)
-        if (i != j) demands.push_back(Demand{i, j, w});
-    return demands;
-  };
-  auto permutation = [&] {
-    std::vector<Demand> demands;
-    const auto perm = rng.permutation(n);
-    for (topo::NodeId i = 0; i < n; ++i)
-      if (perm[static_cast<std::size_t>(i)] != i)
-        demands.push_back(Demand{i, perm[static_cast<std::size_t>(i)], 1.0});
-    return demands;
-  };
-  auto bisector = [&] {
-    std::vector<topo::NodeId> top;
-    std::vector<topo::NodeId> bottom;
-    for (topo::NodeId i = 0; i < n; ++i) {
-      const topo::SwitchId sw = hx.topo().attach_switch(i);
-      (core::in_half(hx, sw, core::Half::kTop) ? top : bottom).push_back(i);
-    }
-    rng.shuffle(top);
-    rng.shuffle(bottom);
-    std::vector<Demand> demands;
-    for (std::size_t i = 0; i < top.size() && i < bottom.size(); ++i) {
-      demands.push_back(Demand{top[i], bottom[i], 1.0});
-      demands.push_back(Demand{bottom[i], top[i], 1.0});
-    }
-    return demands;
-  };
-
-  std::printf("== Saturation throughput per traffic matrix (Section 2.2) "
-              "==\n\n");
-  std::printf("HyperX offered bisection: %.1f%% of injection bandwidth\n\n",
-              hx.bisection_ratio() * 100.0);
-
-  stats::TextTable table({"traffic matrix", "FT alpha", "HX alpha",
-                          "FT mean", "HX mean", "paper's expectation"});
-  struct Row {
-    const char* name;
-    std::vector<Demand> demands;
-    const char* expect;
-  };
-  std::vector<Row> rows;
-  rows.push_back({"uniform (design point)", uniform(),
-                  "HyperX ~1.0 despite 57% bisection"});
-  rows.push_back({"random permutation", permutation(),
-                  "mean high; worst channel collides [30]"});
-  rows.push_back({"bisector adversarial", bisector(),
-                  "HX mean capped near its 0.57 cut"});
-  for (Row& row : rows) {
-    const double ft_a =
-        saturation_throughput(system.ft_ftree(), row.demands, args.seed);
-    const double hx_a =
-        saturation_throughput(system.hx_dfsssp(), row.demands, args.seed);
-    const double ft_m =
-        mean_fair_throughput(system.ft_ftree(), row.demands, args.seed);
-    const double hx_m =
-        mean_fair_throughput(system.hx_dfsssp(), row.demands, args.seed);
-    auto fmt = [](double v) {
-      return v > 0.0 ? stats::format_fixed(v, 2) : std::string("-");
-    };
-    table.add_row({row.name, fmt(ft_a), fmt(hx_a), fmt(ft_m), fmt(hx_m),
-                   row.expect});
-  }
-  std::printf("%s", table.to_string().c_str());
-  std::printf("\n(Static routing keeps permutations below the adaptive "
-              "ideal -- Hoefler et al.'s 'multistage switches are not "
-              "crossbars' effect, which the paper cites as [30].)\n");
-  return 0;
+  return hxsim::bench::run_experiment_main("uniform_random_throughput", argc, argv);
 }

@@ -1,0 +1,38 @@
+#include "obs/bench_json.hpp"
+
+#include <cstdio>
+
+namespace hxsim::obs {
+
+void BenchJson::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"phases\": [\n",
+               bench_name_.c_str());
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    std::fprintf(f, "    {\"name\": \"%s\"", entries_[e].phase.c_str());
+    for (const auto& [key, value] : entries_[e].metrics)
+      std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+    std::fprintf(f, "}%s\n", e + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void BenchJson::publish(report::ResultSet& rs,
+                        std::string_view table_id) const {
+  report::ResultTable table;
+  table.id = std::string(table_id);
+  table.columns = {"phase", "metric", "value"};
+  for (const Entry& entry : entries_)
+    for (const auto& [key, value] : entry.metrics)
+      table.add_row({entry.phase, key, report::format_metric(value)});
+  rs.tables.push_back(std::move(table));
+}
+
+}  // namespace hxsim::obs

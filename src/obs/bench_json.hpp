@@ -1,0 +1,51 @@
+// Machine-readable perf record shared by the bench binaries: every bench
+// that times phases appends {name, metrics} entries and writes one
+// BENCH_<bench>.json so the perf trajectory of the hot paths is tracked
+// in-repo from PR to PR.
+//
+// The same entries publish into the report/ result schema (one long-form
+// ResultTable of phase x metric x value rows), so a pipeline experiment
+// can fold a bench's perf phases into its ResultSet without a second
+// bookkeeping path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "report/result.hpp"
+
+namespace hxsim::obs {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& phase,
+           const std::vector<std::pair<std::string, double>>& metrics) {
+    entries_.push_back({phase, metrics});
+  }
+
+  [[nodiscard]] const std::string& bench_name() const { return bench_name_; }
+
+  /// Writes BENCH_<bench>.json into `dir` (default: working directory).
+  void write(const std::string& dir = ".") const;
+
+  /// Appends the recorded phases to `rs` as one long-form table
+  /// (phase, metric, value), values formatted with the store's stable
+  /// metric formatting.
+  void publish(report::ResultSet& rs,
+               std::string_view table_id = "phases") const;
+
+ private:
+  struct Entry {
+    std::string phase;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hxsim::obs

@@ -1,0 +1,222 @@
+#include "report/claims.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace hxsim::report {
+
+namespace {
+
+std::vector<std::string> split_tabs(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      return fields;
+    }
+    fields.emplace_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+Direction parse_direction(const std::string& s, int line_no) {
+  if (s == "ge") return Direction::kAtLeast;
+  if (s == "le") return Direction::kAtMost;
+  if (s == "within") return Direction::kWithin;
+  throw std::runtime_error("claims line " + std::to_string(line_no) +
+                           ": direction must be ge|le|within, got '" + s +
+                           "'");
+}
+
+Scope parse_scope(const std::string& s, int line_no) {
+  if (s == "both") return Scope::kBoth;
+  if (s == "full") return Scope::kFull;
+  if (s == "quick") return Scope::kQuick;
+  throw std::runtime_error("claims line " + std::to_string(line_no) +
+                           ": scope must be both|full|quick, got '" + s +
+                           "'");
+}
+
+double parse_double(const std::string& s, const char* what, int line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size() || !std::isfinite(v))
+      throw std::invalid_argument(s);
+    return v;
+  } catch (const std::logic_error&) {
+    throw std::runtime_error("claims line " + std::to_string(line_no) +
+                             ": malformed " + what + " '" + s + "'");
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Direction direction) {
+  switch (direction) {
+    case Direction::kAtLeast: return "ge";
+    case Direction::kAtMost: return "le";
+    case Direction::kWithin: return "within";
+  }
+  return "?";
+}
+
+std::string_view to_string(Scope scope) {
+  switch (scope) {
+    case Scope::kBoth: return "both";
+    case Scope::kFull: return "full";
+    case Scope::kQuick: return "quick";
+  }
+  return "?";
+}
+
+bool claim_holds(const Claim& claim, double measured) {
+  if (!std::isfinite(measured)) return false;
+  switch (claim.direction) {
+    case Direction::kAtLeast: return measured >= claim.expected - claim.band;
+    case Direction::kAtMost: return measured <= claim.expected + claim.band;
+    case Direction::kWithin:
+      return std::abs(measured - claim.expected) <= claim.band;
+  }
+  return false;
+}
+
+bool claim_applies(const Claim& claim, RunMode mode) {
+  switch (claim.scope) {
+    case Scope::kBoth: return true;
+    case Scope::kFull: return mode == RunMode::kFull;
+    case Scope::kQuick: return mode == RunMode::kQuick;
+  }
+  return false;
+}
+
+std::string Violation::message() const {
+  std::string out = claim.id + ": ";
+  if (metric_missing) {
+    out += "metric " + claim.experiment + "." + claim.metric +
+           " is missing from the result store (registry drift?)";
+  } else {
+    out += "measured " + claim.experiment + "." + claim.metric + " = " +
+           format_metric(measured) + ", expected " +
+           std::string(to_string(claim.direction)) + " " +
+           format_metric(claim.expected) + " (band " +
+           format_metric(claim.band) + ")";
+  }
+  if (!claim.paper_ref.empty()) out += " [" + claim.paper_ref + "]";
+  return out;
+}
+
+std::vector<Claim> parse_claims(std::string_view text) {
+  std::vector<Claim> claims;
+  int line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    const std::vector<std::string> f = split_tabs(line);
+    if (f.size() < 8 || f.size() > 9)
+      throw std::runtime_error(
+          "claims line " + std::to_string(line_no) + ": expected 8-9 "
+          "tab-separated fields (id experiment metric direction expected "
+          "band scope paper_ref [note]), got " + std::to_string(f.size()));
+    Claim c;
+    c.id = f[0];
+    c.experiment = f[1];
+    c.metric = f[2];
+    c.direction = parse_direction(f[3], line_no);
+    c.expected = parse_double(f[4], "expected", line_no);
+    c.band = parse_double(f[5], "band", line_no);
+    c.scope = parse_scope(f[6], line_no);
+    c.paper_ref = f[7];
+    if (f.size() == 9) c.note = f[8];
+    if (c.id.empty() || c.experiment.empty() || c.metric.empty())
+      throw std::runtime_error("claims line " + std::to_string(line_no) +
+                               ": id/experiment/metric must be non-empty");
+    if (c.band < 0.0)
+      throw std::runtime_error("claims line " + std::to_string(line_no) +
+                               ": band must be non-negative");
+    claims.push_back(std::move(c));
+    if (end == text.size()) break;
+  }
+  return claims;
+}
+
+std::string format_claims(const std::vector<Claim>& claims) {
+  std::string out;
+  for (const Claim& c : claims) {
+    out += c.id + "\t" + c.experiment + "\t" + c.metric + "\t" +
+           std::string(to_string(c.direction)) + "\t" +
+           format_metric(c.expected) + "\t" + format_metric(c.band) + "\t" +
+           std::string(to_string(c.scope)) + "\t" + c.paper_ref;
+    if (!c.note.empty()) out += "\t" + c.note;
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<Claim> load_claims_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir))
+    throw std::runtime_error("claims directory not found: " + dir);
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".tsv")
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  if (files.empty())
+    throw std::runtime_error("no .tsv claim tables under " + dir);
+
+  std::vector<Claim> claims;
+  std::set<std::string> seen;
+  for (const fs::path& path : files) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("cannot read " + path.string());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::vector<Claim> parsed;
+    try {
+      parsed = parse_claims(ss.str());
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(path.string() + ": " + e.what());
+    }
+    for (Claim& c : parsed) {
+      if (!seen.insert(c.id).second)
+        throw std::runtime_error("duplicate claim id '" + c.id + "' in " +
+                                 path.string());
+      claims.push_back(std::move(c));
+    }
+  }
+  return claims;
+}
+
+std::vector<Violation> check_claims(const std::vector<Claim>& claims,
+                                    const ResultStore& store) {
+  std::vector<Violation> violations;
+  for (const Claim& claim : claims) {
+    if (!claim_applies(claim, store.mode)) continue;
+    const double* measured = store.metric(claim.experiment, claim.metric);
+    if (measured == nullptr) {
+      violations.push_back(Violation{claim, 0.0, /*metric_missing=*/true});
+    } else if (!claim_holds(claim, *measured)) {
+      violations.push_back(Violation{claim, *measured, false});
+    }
+  }
+  return violations;
+}
+
+}  // namespace hxsim::report

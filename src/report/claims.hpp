@@ -1,0 +1,84 @@
+// Machine-checked claims: the paper's (and the repo's) quantitative
+// statements as tolerance-banded assertions over ResultStore metrics.
+//
+// Claims live in committed TSV tables under claims/ (one claim per line,
+// tab-separated, '#' comments), so the expectations are data, reviewed in
+// diffs, not prose.  bench/repro_pipeline loads them, evaluates every
+// claim applicable to the run mode against the freshly measured store,
+// and exits non-zero listing each violation as
+//   measured <metric> = x, expected <direction> <expected> (band b).
+//
+// Direction semantics (band >= 0 in every case):
+//   ge      measured >= expected - band   (at least, with slack)
+//   le      measured <= expected + band   (at most, with slack)
+//   within  |measured - expected| <= band (two-sided)
+//
+// Scope gates which run modes a claim binds in: `both` claims must hold
+// for quick and full runs (scale-invariant directions and ratios),
+// `full`/`quick` claims bind only to stores of that mode (absolute
+// paper-scale numbers vs. CI-sized expectations).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/result.hpp"
+
+namespace hxsim::report {
+
+enum class Direction : std::uint8_t { kAtLeast, kAtMost, kWithin };
+enum class Scope : std::uint8_t { kBoth, kFull, kQuick };
+
+[[nodiscard]] std::string_view to_string(Direction direction);
+[[nodiscard]] std::string_view to_string(Scope scope);
+
+struct Claim {
+  std::string id;          // unique, e.g. "fig1_parx_recovers_bandwidth"
+  std::string experiment;  // registry id the metric belongs to
+  std::string metric;      // ResultSet metric name
+  Direction direction = Direction::kWithin;
+  double expected = 0.0;
+  double band = 0.0;       // non-negative tolerance
+  Scope scope = Scope::kBoth;
+  std::string paper_ref;   // section/figure the expectation comes from
+  std::string note;        // free text (no tabs)
+};
+
+/// True iff `measured` satisfies the claim's band.
+[[nodiscard]] bool claim_holds(const Claim& claim, double measured);
+
+/// True iff the claim binds to a store of `mode`.
+[[nodiscard]] bool claim_applies(const Claim& claim, RunMode mode);
+
+struct Violation {
+  Claim claim;
+  double measured = 0.0;
+  bool metric_missing = false;  // experiment or metric absent from store
+
+  /// One line: claim id, metric, measured vs expected band, paper ref.
+  [[nodiscard]] std::string message() const;
+};
+
+/// Parses claim lines.  Fields are tab-separated:
+///   id  experiment  metric  direction  expected  band  scope  paper_ref  note
+/// (note optional).  Blank lines and lines starting with '#' are skipped.
+/// Throws std::runtime_error naming the offending line.
+[[nodiscard]] std::vector<Claim> parse_claims(std::string_view text);
+
+/// Inverse of parse_claims: one TSV line per claim, round-trip stable.
+[[nodiscard]] std::string format_claims(const std::vector<Claim>& claims);
+
+/// Loads and concatenates every *.tsv under `dir` (sorted by filename).
+/// Throws std::runtime_error if the directory is missing, empty of .tsv
+/// files, or any file fails to parse; duplicate claim ids across files
+/// are an error too.
+[[nodiscard]] std::vector<Claim> load_claims_dir(const std::string& dir);
+
+/// Evaluates every claim applicable to store.mode; a claim whose
+/// experiment or metric is absent from the store is itself a violation
+/// (registry drift is exactly what this engine exists to catch).
+[[nodiscard]] std::vector<Violation> check_claims(
+    const std::vector<Claim>& claims, const ResultStore& store);
+
+}  // namespace hxsim::report

@@ -1,0 +1,64 @@
+// Experiment registry: the paper's figures and studies as enumerable,
+// programmatically runnable units.
+//
+// A registered Experiment is the *core* of one bench binary: the bench's
+// main() becomes a thin wrapper that runs its experiment with parsed
+// options, and bench/repro_pipeline can run the whole registry in one
+// process, collect every ResultSet into a ResultStore (REPRO.json), check
+// the committed claims/ tables against it (claims.hpp) and regenerate the
+// EXPERIMENTS.md result tables (render.hpp).
+//
+// Experiments print their human-readable report to stdout exactly as the
+// standalone benches always did; the ResultSet is the machine-readable
+// subset of the same run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/result.hpp"
+
+namespace hxsim::report {
+
+/// The option surface every bench binary already exposes (bench_common's
+/// BenchArgs, decoupled from the CLI so experiments are library-callable).
+struct Options {
+  bool quick = false;
+  std::uint64_t seed = 1;
+  std::int32_t reps = 3;
+  std::int32_t threads = 0;  // 0: hardware_concurrency
+  std::optional<std::string> csv_path;
+  std::optional<std::string> trace_path;
+};
+
+struct Experiment {
+  std::string id;         // == the bench binary name, e.g. "fig1_mpigraph"
+  std::string title;      // one-line purpose
+  std::string paper_ref;  // figure/table/section reproduced
+  std::function<ResultSet(const Options&)> run;
+};
+
+class Registry {
+ public:
+  /// Throws std::invalid_argument on a duplicate or empty id.
+  void add(Experiment experiment);
+
+  [[nodiscard]] const Experiment* find(std::string_view id) const;
+  [[nodiscard]] const std::vector<Experiment>& experiments() const noexcept {
+    return experiments_;
+  }
+
+  /// Runs `experiment` and stamps id/title/paper_ref into the ResultSet
+  /// (so individual run() bodies cannot drift from their registration).
+  [[nodiscard]] ResultSet run(const Experiment& experiment,
+                              const Options& options) const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace hxsim::report

@@ -21,6 +21,12 @@ class TextTable {
   /// Number of data rows added so far.
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// The data rows (cells as added, before padding/truncation).
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
   /// Render with a header separator; columns sized to the widest cell.
   [[nodiscard]] std::string to_string() const;
 

@@ -1,0 +1,361 @@
+// Unit tests for src/report (result store, claims engine, renderer) and
+// the bench/experiments registry the reproduction pipeline runs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiments/experiments.hpp"
+#include "report/claims.hpp"
+#include "report/render.hpp"
+#include "report/result.hpp"
+
+#ifndef HXSIM_SOURCE_DIR
+#define HXSIM_SOURCE_DIR "."
+#endif
+
+namespace hxsim::report {
+namespace {
+
+// --- ResultSet / ResultStore ----------------------------------------------
+
+TEST(ResultSet, SetOverwritesAndFindMisses) {
+  ResultSet rs;
+  rs.set("alpha", 1.0);
+  rs.set("alpha", 2.5);
+  ASSERT_NE(rs.find("alpha"), nullptr);
+  EXPECT_DOUBLE_EQ(*rs.find("alpha"), 2.5);
+  EXPECT_EQ(rs.find("beta"), nullptr);
+  EXPECT_EQ(rs.metrics.size(), 1u);
+}
+
+TEST(ResultSet, TableReuseAndColumnMismatch) {
+  ResultSet rs;
+  ResultTable& t = rs.table("t", {"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(&rs.table("t", {"a", "b"}), &t);
+  EXPECT_THROW(rs.table("t", {"a", "c"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+ResultStore sample_store() {
+  ResultStore store;
+  store.mode = RunMode::kQuick;
+  store.seed = 7;
+  ResultSet rs;
+  rs.id = "exp1";
+  rs.title = "An experiment";
+  rs.paper_ref = "Fig. 0";
+  rs.set("metric_a", 1.25);
+  rs.set("metric_b", -3.0e-7);
+  ResultTable& t = rs.table("tab", {"col|1", "col2"});
+  t.add_row({"x*y", "back\\slash"});
+  store.experiments.push_back(rs);
+  return store;
+}
+
+TEST(ResultStore, JsonRoundTripIsByteStable) {
+  const ResultStore store = sample_store();
+  const std::string json = store.to_json();
+  const ResultStore back = ResultStore::parse_json(json);
+  EXPECT_EQ(back.mode, store.mode);
+  EXPECT_EQ(back.seed, store.seed);
+  ASSERT_EQ(back.experiments.size(), 1u);
+  EXPECT_EQ(back.to_json(), json);
+  ASSERT_NE(back.metric("exp1", "metric_a"), nullptr);
+  EXPECT_DOUBLE_EQ(*back.metric("exp1", "metric_a"), 1.25);
+  EXPECT_EQ(back.metric("exp1", "nope"), nullptr);
+  EXPECT_EQ(back.metric("nope", "metric_a"), nullptr);
+}
+
+TEST(ResultStore, ParseRejectsGarbage) {
+  EXPECT_THROW(ResultStore::parse_json("not json"), std::runtime_error);
+  EXPECT_THROW(ResultStore::parse_json("{\"schema\": \"wrong\"}"),
+               std::runtime_error);
+}
+
+// --- claims ----------------------------------------------------------------
+
+Claim make_claim(Direction dir, double expected, double band,
+                 Scope scope = Scope::kBoth) {
+  Claim c;
+  c.id = "c";
+  c.experiment = "exp1";
+  c.metric = "metric_a";
+  c.direction = dir;
+  c.expected = expected;
+  c.band = band;
+  c.scope = scope;
+  return c;
+}
+
+TEST(Claims, DirectionSemantics) {
+  // ge: measured >= expected - band.
+  EXPECT_TRUE(claim_holds(make_claim(Direction::kAtLeast, 1.0, 0.1), 0.91));
+  EXPECT_TRUE(claim_holds(make_claim(Direction::kAtLeast, 1.0, 0.1), 5.0));
+  EXPECT_FALSE(claim_holds(make_claim(Direction::kAtLeast, 1.0, 0.1), 0.89));
+  // le: measured <= expected + band.
+  EXPECT_TRUE(claim_holds(make_claim(Direction::kAtMost, 1.0, 0.1), 1.09));
+  EXPECT_TRUE(claim_holds(make_claim(Direction::kAtMost, 1.0, 0.1), -5.0));
+  EXPECT_FALSE(claim_holds(make_claim(Direction::kAtMost, 1.0, 0.1), 1.11));
+  // within: |measured - expected| <= band (band edges inclusive; the
+  // band here is exactly representable so the edge itself is testable).
+  EXPECT_TRUE(claim_holds(make_claim(Direction::kWithin, 1.0, 0.25), 1.25));
+  EXPECT_TRUE(claim_holds(make_claim(Direction::kWithin, 1.0, 0.25), 0.75));
+  EXPECT_FALSE(claim_holds(make_claim(Direction::kWithin, 1.0, 0.25), 1.3));
+  // Non-finite measurements never satisfy a claim.
+  EXPECT_FALSE(claim_holds(make_claim(Direction::kAtMost, 1.0, 1.0),
+                           std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(claim_holds(make_claim(Direction::kWithin, 0.0, 1.0),
+                           std::numeric_limits<double>::quiet_NaN()));
+}
+
+TEST(Claims, ScopeGatesRunModes) {
+  EXPECT_TRUE(claim_applies(make_claim(Direction::kWithin, 0, 0, Scope::kBoth),
+                            RunMode::kFull));
+  EXPECT_TRUE(claim_applies(make_claim(Direction::kWithin, 0, 0, Scope::kBoth),
+                            RunMode::kQuick));
+  EXPECT_TRUE(claim_applies(make_claim(Direction::kWithin, 0, 0, Scope::kFull),
+                            RunMode::kFull));
+  EXPECT_FALSE(claim_applies(
+      make_claim(Direction::kWithin, 0, 0, Scope::kFull), RunMode::kQuick));
+  EXPECT_FALSE(claim_applies(
+      make_claim(Direction::kWithin, 0, 0, Scope::kQuick), RunMode::kFull));
+}
+
+TEST(Claims, ParseFormatRoundTrip) {
+  const std::string text =
+      "# paper claims\n"
+      "\n"
+      "c1\texp1\tmetric_a\tge\t1.25\t0.05\tboth\tFig. 1\tkeeps bandwidth\n"
+      "c2\texp1\tmetric_b\twithin\t-3e-07\t1e-08\tfull\tSS2.2\n";
+  const std::vector<Claim> claims = parse_claims(text);
+  ASSERT_EQ(claims.size(), 2u);
+  EXPECT_EQ(claims[0].id, "c1");
+  EXPECT_EQ(claims[0].direction, Direction::kAtLeast);
+  EXPECT_EQ(claims[0].note, "keeps bandwidth");
+  EXPECT_EQ(claims[1].scope, Scope::kFull);
+  EXPECT_TRUE(claims[1].note.empty());
+  // format -> parse -> format is stable.
+  const std::string formatted = format_claims(claims);
+  EXPECT_EQ(format_claims(parse_claims(formatted)), formatted);
+}
+
+TEST(Claims, ParseRejectsMalformedLines) {
+  EXPECT_THROW(parse_claims("too\tfew\tfields\n"), std::runtime_error);
+  EXPECT_THROW(
+      parse_claims("c\texp\tm\tsideways\t1\t0\tboth\tref\n"),
+      std::runtime_error);
+  EXPECT_THROW(parse_claims("c\texp\tm\tge\tNaN\t0\tboth\tref\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_claims("c\texp\tm\tge\t1\t-0.5\tboth\tref\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_claims("c\texp\tm\tge\t1\t0\tsometimes\tref\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_claims("\texp\tm\tge\t1\t0\tboth\tref\n"),
+               std::runtime_error);
+}
+
+TEST(Claims, CheckFlagsViolationsAndMissingMetrics) {
+  const ResultStore store = sample_store();  // quick mode, metric_a = 1.25
+  std::vector<Claim> claims;
+  claims.push_back(make_claim(Direction::kAtLeast, 1.0, 0.0));  // holds
+  claims.push_back(make_claim(Direction::kAtMost, 1.0, 0.1));   // violated
+  claims.back().id = "too_big";
+  claims.push_back(make_claim(Direction::kAtLeast, 9.9, 0.0, Scope::kFull));
+  claims.back().id = "full_only_skipped";  // store is quick: not evaluated
+  Claim missing = make_claim(Direction::kWithin, 0.0, 1.0);
+  missing.id = "gone";
+  missing.metric = "no_such_metric";
+  claims.push_back(missing);
+
+  const std::vector<Violation> violations = check_claims(claims, store);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].claim.id, "too_big");
+  EXPECT_FALSE(violations[0].metric_missing);
+  EXPECT_DOUBLE_EQ(violations[0].measured, 1.25);
+  EXPECT_NE(violations[0].message().find("measured exp1.metric_a = 1.25"),
+            std::string::npos);
+  EXPECT_EQ(violations[1].claim.id, "gone");
+  EXPECT_TRUE(violations[1].metric_missing);
+  EXPECT_NE(violations[1].message().find("missing"), std::string::npos);
+}
+
+TEST(Claims, LoadDirConcatenatesAndRejectsDuplicates) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "hxsim_report_test_claims";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "a.tsv")
+      << "a1\texp\tm\tge\t1\t0\tboth\tref\n";
+  std::ofstream(dir / "b.tsv")
+      << "b1\texp\tm\tle\t2\t0\tfull\tref\n";
+  const std::vector<Claim> claims = load_claims_dir(dir.string());
+  ASSERT_EQ(claims.size(), 2u);
+  EXPECT_EQ(claims[0].id, "a1");  // files sorted by name
+  EXPECT_EQ(claims[1].id, "b1");
+
+  std::ofstream(dir / "c.tsv") << "a1\texp\tm\tge\t1\t0\tboth\tdup\n";
+  EXPECT_THROW(load_claims_dir(dir.string()), std::runtime_error);
+  fs::remove_all(dir);
+  EXPECT_THROW(load_claims_dir(dir.string()), std::runtime_error);
+}
+
+TEST(Claims, CommittedTablesParseAndNameRegisteredExperiments) {
+  const std::vector<Claim> claims =
+      load_claims_dir(HXSIM_SOURCE_DIR "/claims");
+  EXPECT_GE(claims.size(), 10u);
+  const report::Registry& registry = bench::global_registry();
+  for (const Claim& claim : claims)
+    EXPECT_NE(registry.find(claim.experiment), nullptr)
+        << "claim " << claim.id << " names unknown experiment '"
+        << claim.experiment << "'";
+}
+
+// --- renderer --------------------------------------------------------------
+
+TEST(Render, MarkdownTableEscapesCells) {
+  ResultTable t;
+  t.id = "tab";
+  t.columns = {"col|1", "col2"};
+  t.rows = {{"x*y", "back\\slash"}};
+  const std::string md = render_markdown_table(t);
+  EXPECT_EQ(md,
+            "| col\\|1 | col2 |\n"
+            "|---|---|\n"
+            "| x\\*y | back\\\\slash |\n");
+}
+
+TEST(Render, RegeneratesBlocksAndIsIdempotent) {
+  const ResultStore store = sample_store();
+  const std::string doc =
+      "# Results\n"
+      "prose before\n"
+      "<!-- report:begin exp1.tab -->\n"
+      "| stale | table |\n"
+      "<!-- report:end -->\n"
+      "prose after\n";
+  RenderStats stats;
+  const std::string once = render_experiments_md(doc, store, &stats);
+  EXPECT_EQ(stats.blocks, 1);
+  EXPECT_EQ(stats.changed, 1);
+  EXPECT_NE(once.find("| x\\*y | back\\\\slash |"), std::string::npos);
+  EXPECT_NE(once.find("prose before"), std::string::npos);
+  EXPECT_NE(once.find("prose after"), std::string::npos);
+  EXPECT_EQ(once.find("stale"), std::string::npos);
+
+  const std::string twice = render_experiments_md(once, store, &stats);
+  EXPECT_EQ(stats.blocks, 1);
+  EXPECT_EQ(stats.changed, 0);
+  EXPECT_EQ(twice, once);
+}
+
+TEST(Render, RejectsDriftedMarkers) {
+  const ResultStore store = sample_store();
+  EXPECT_THROW(render_experiments_md(
+                   "<!-- report:begin exp1.tab -->\nno end\n", store),
+               std::runtime_error);
+  EXPECT_THROW(render_experiments_md("text\n<!-- report:end -->\n", store),
+               std::runtime_error);
+  EXPECT_THROW(render_experiments_md(
+                   "<!-- report:begin noseparator -->\n<!-- report:end -->\n",
+                   store),
+               std::runtime_error);
+  EXPECT_THROW(
+      render_experiments_md("<!-- report:begin exp1.tab -->\n"
+                            "<!-- report:begin exp1.tab -->\n"
+                            "<!-- report:end -->\n<!-- report:end -->\n",
+                            store),
+      std::runtime_error);
+  EXPECT_THROW(render_experiments_md("<!-- report:begin ghost.tab -->\n"
+                                     "<!-- report:end -->\n",
+                                     store),
+               std::runtime_error);
+  EXPECT_THROW(render_experiments_md("<!-- report:begin exp1.ghost -->\n"
+                                     "<!-- report:end -->\n",
+                                     store),
+               std::runtime_error);
+}
+
+TEST(Render, CommittedExperimentsMdRendersFromCommittedStore) {
+  std::ifstream md(HXSIM_SOURCE_DIR "/EXPERIMENTS.md", std::ios::binary);
+  ASSERT_TRUE(md.is_open());
+  std::ostringstream buf;
+  buf << md.rdbuf();
+  const ResultStore store =
+      ResultStore::read_json(HXSIM_SOURCE_DIR "/REPRO.json");
+  EXPECT_EQ(store.mode, RunMode::kFull);
+  RenderStats stats;
+  const std::string rendered =
+      render_experiments_md(buf.str(), store, &stats);
+  EXPECT_GE(stats.blocks, 10);
+  // The committed doc must be exactly what the committed store renders.
+  EXPECT_EQ(stats.changed, 0);
+  EXPECT_EQ(rendered, buf.str());
+}
+
+// --- experiment registry ---------------------------------------------------
+
+TEST(Registry, RejectsDuplicatesAndEmptyIds) {
+  Registry r;
+  r.add({"x", "t", "ref", [](const Options&) { return ResultSet{}; }});
+  EXPECT_THROW(
+      r.add({"x", "t", "ref", [](const Options&) { return ResultSet{}; }}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      r.add({"", "t", "ref", [](const Options&) { return ResultSet{}; }}),
+      std::invalid_argument);
+}
+
+TEST(Registry, CoversEveryFigureBenchBinary) {
+  // Every fig*/table* bench binary declared in bench/CMakeLists.txt must
+  // have a registered experiment of the same name, or the pipeline and
+  // the claims silently lose coverage.
+  std::ifstream cmake(HXSIM_SOURCE_DIR "/bench/CMakeLists.txt");
+  ASSERT_TRUE(cmake.is_open());
+  std::ostringstream buf;
+  buf << cmake.rdbuf();
+  const std::string text = buf.str();
+  const std::regex bench_re(R"(hxsim_add_bench\(((?:fig|table)\w+))");
+  std::set<std::string> figure_benches;
+  for (std::sregex_iterator it(text.begin(), text.end(), bench_re), end;
+       it != end; ++it)
+    figure_benches.insert((*it)[1]);
+  EXPECT_GE(figure_benches.size(), 9u);
+
+  const report::Registry& registry = bench::global_registry();
+  for (const std::string& name : figure_benches)
+    EXPECT_NE(registry.find(name), nullptr)
+        << "bench binary '" << name << "' has no registered experiment";
+}
+
+TEST(Registry, RunStampsIdentityAndProducesMetrics) {
+  // The cheapest registered experiment end-to-end: small fabrics, no
+  // PaperSystem.  Also pins the repo-level delta-routing contract.
+  const report::Registry& registry = bench::global_registry();
+  const Experiment* exp = registry.find("reroute_dirty");
+  ASSERT_NE(exp, nullptr);
+  Options options;
+  options.quick = true;
+  options.threads = 1;
+  const ResultSet rs = registry.run(*exp, options);
+  EXPECT_EQ(rs.id, "reroute_dirty");
+  EXPECT_EQ(rs.title, exp->title);
+  EXPECT_EQ(rs.paper_ref, exp->paper_ref);
+  ASSERT_NE(rs.find("delta_identical"), nullptr);
+  EXPECT_DOUBLE_EQ(*rs.find("delta_identical"), 1.0);
+  ASSERT_NE(rs.find("ftree_dirty_fraction"), nullptr);
+  EXPECT_LT(*rs.find("ftree_dirty_fraction"), 1.0);
+  ASSERT_FALSE(rs.tables.empty());
+  EXPECT_EQ(rs.tables[0].id, "dirty");
+}
+
+}  // namespace
+}  // namespace hxsim::report
