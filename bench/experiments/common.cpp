@@ -60,6 +60,7 @@ void register_all_experiments(report::Registry& registry) {
   registry.add(taper_study_experiment());
   registry.add(reroute_dirty_experiment());
   registry.add(pktsim_speedup_experiment());
+  registry.add(flowsim_speedup_experiment());
 }
 
 report::Registry& global_registry() {

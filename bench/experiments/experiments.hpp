@@ -48,9 +48,11 @@ report::Experiment uniform_random_throughput_experiment();
 report::Experiment topology_comparison_experiment();
 report::Experiment taper_study_experiment();
 // Repo-level experiments (claims about this implementation, not the
-// paper): incremental-reroute savings and typed-engine speedup.
+// paper): incremental-reroute savings, typed packet-engine speedup and
+// indexed flow-solver speedup.
 report::Experiment reroute_dirty_experiment();
 report::Experiment pktsim_speedup_experiment();
+report::Experiment flowsim_speedup_experiment();
 
 /// Registers every experiment above.
 void register_all_experiments(report::Registry& registry);

@@ -1,0 +1,233 @@
+// Flow-solver throughput bench: indexed max-min engine vs the seed
+// reference engine (single thread), plus batch scaling through
+// FlowSim::solve_batch at 1..8 threads.
+//
+//   ./flowsim_scaling [--quick] [--threads n] [--reps n] [--seed n]
+//
+// Check mode is built in: every indexed-engine rate vector and
+// FlowSolveRecord is verified bitwise against the reference engine, and
+// every parallel batch against the 1-thread batch; any mismatch exits
+// non-zero, so CI runs this binary as a correctness gate as well as a
+// perf probe.  Results (freeze events/sec, old-vs-new speedup, batch
+// speedups) are recorded in BENCH_flowsim.json (committed, tracking the
+// perf trajectory per PR).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "experiments/flow_workloads.hpp"
+#include "obs/flow_trace.hpp"
+#include "sim/flowsim.hpp"
+
+namespace {
+
+using namespace hxsim;
+
+/// Bitwise rate-vector equality (inf/NaN-safe); the check-mode comparator.
+bool rates_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool records_equal(const obs::FlowSolveRecord& a,
+                   const obs::FlowSolveRecord& b) {
+  return a.active_flows == b.active_flows &&
+         a.levels.size() == b.levels.size() &&
+         (a.levels.empty() ||
+          std::memcmp(a.levels.data(), b.levels.data(),
+                      a.levels.size() * sizeof(double)) == 0) &&
+         a.freezes_per_level == b.freezes_per_level &&
+         a.saturated == b.saturated;
+}
+
+struct EngineTiming {
+  double seconds = 0.0;
+  double freezes_per_sec = 0.0;
+  std::int64_t levels = 0;
+  std::vector<std::vector<double>> rates;  // one vector per set
+};
+
+/// Times `reps` warm passes over all `sets` on one engine through the
+/// solve_active fault-stage path (caller scratch, exactly as the
+/// resilience campaign drives it); rates of the last pass are kept for
+/// the identity check.
+EngineTiming time_engine(const topo::Topology& topo,
+                         sim::FlowSim::SolverEngine engine,
+                         const std::vector<std::vector<sim::Flow>>& sets,
+                         std::int32_t reps) {
+  const sim::FlowSim solver(topo, {}, engine);
+  sim::FlowSim::SolveScratch scratch;
+  EngineTiming t;
+  std::int64_t freezes = 0;
+  t.rates.resize(sets.size());
+  std::vector<std::vector<char>> active(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    active[i].assign(sets[i].size(), 1);
+    t.rates[i].assign(sets[i].size(), 0.0);
+    solver.solve_active(sets[i], active[i], t.rates[i], scratch);  // warm-up
+    freezes += static_cast<std::int64_t>(sets[i].size());
+  }
+  bench::PhaseClock clock;
+  for (std::int32_t r = 0; r < reps; ++r)
+    for (std::size_t i = 0; i < sets.size(); ++i)
+      solver.solve_active(sets[i], active[i], t.rates[i], scratch);
+  t.seconds = clock.lap() / reps;
+  if (t.seconds > 0.0)
+    t.freezes_per_sec = static_cast<double>(freezes) / t.seconds;
+
+  // Untimed traced solve per set: the record is part of the contract.
+  obs::FlowSolveTrace trace;
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    (void)solver.fair_rates(sets[i], &trace);
+  for (const auto& solve : trace.solves)
+    t.levels += static_cast<std::int64_t>(solve.levels.size());
+  return t;
+}
+
+/// Old-vs-new single-thread comparison on one workload; exits non-zero on
+/// any rate or record divergence.
+void compare_engines(const char* phase, const topo::Topology& topo,
+                     const std::vector<std::vector<sim::Flow>>& sets,
+                     std::int32_t reps, obs::BenchJson& json) {
+  const EngineTiming ref = time_engine(
+      topo, sim::FlowSim::SolverEngine::kReference, sets, reps);
+  const EngineTiming idx =
+      time_engine(topo, sim::FlowSim::SolverEngine::kIndexed, sets, reps);
+  std::int64_t flows = 0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    flows += static_cast<std::int64_t>(sets[i].size());
+    if (!rates_equal(ref.rates[i], idx.rates[i])) {
+      std::fprintf(stderr, "%s: indexed engine differs from reference "
+                   "(set %zu)!\n", phase, i);
+      std::exit(1);
+    }
+  }
+  // Traced records: re-solve set 0 on both engines and compare fields.
+  {
+    const sim::FlowSim reference(topo, {},
+                                 sim::FlowSim::SolverEngine::kReference);
+    const sim::FlowSim indexed(topo, {}, sim::FlowSim::SolverEngine::kIndexed);
+    obs::FlowSolveTrace rt;
+    obs::FlowSolveTrace it;
+    (void)reference.fair_rates(sets[0], &rt);
+    (void)indexed.fair_rates(sets[0], &it);
+    if (!records_equal(rt.solves.at(0), it.solves.at(0))) {
+      std::fprintf(stderr, "%s: FlowSolveRecord differs between engines!\n",
+                   phase);
+      std::exit(1);
+    }
+  }
+  const double speedup = idx.seconds > 0.0 ? ref.seconds / idx.seconds : 0.0;
+  std::printf(
+      "%-24s flows=%-7lld levels=%-5lld old %8.2f Mfz/s | new %8.2f Mfz/s | "
+      "speedup %.2fx\n",
+      phase, static_cast<long long>(flows),
+      static_cast<long long>(idx.levels), ref.freezes_per_sec / 1e6,
+      idx.freezes_per_sec / 1e6, speedup);
+  json.add(phase,
+           {{"flows", static_cast<double>(flows)},
+            {"levels", static_cast<double>(idx.levels)},
+            {"old_freezes_per_sec", ref.freezes_per_sec},
+            {"new_freezes_per_sec", idx.freezes_per_sec},
+            {"speedup", speedup}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::int32_t reps = args.quick ? 2 : std::max(args.reps, 3);
+  obs::BenchJson json("flowsim");
+  json.add("machine", {{"hardware_threads",
+                        static_cast<double>(exec::hardware_threads())}});
+
+  const bench::FlowFabric hx = bench::flow_hyperx_fabric(args.quick);
+  const bench::FlowFabric ft = bench::flow_fat_tree_fabric(args.quick);
+  stats::Rng rng(args.seed);
+
+  // --- phase 1: old vs new, single thread -------------------------------
+  const std::int32_t samples = args.quick ? 2 : 4;
+  {
+    std::vector<std::vector<sim::Flow>> uniform;
+    for (std::int32_t s = 0; s < samples; ++s)
+      uniform.push_back(bench::uniform_flow_set(hx, rng));
+    compare_engines("hyperx_uniform", *hx.topo, uniform, reps, json);
+
+    std::vector<std::vector<sim::Flow>> shifts;
+    for (const std::int32_t r : {1, 7, hx.topo->num_terminals() / 2})
+      shifts.push_back(bench::shift_flow_set(hx, r));
+    compare_engines("hyperx_shift", *hx.topo, shifts, reps, json);
+
+    std::vector<std::vector<sim::Flow>> ebb;
+    for (std::int32_t s = 0; s < samples; ++s)
+      ebb.push_back(bench::ebb_flow_set(hx, rng));
+    compare_engines("hyperx_ebb", *hx.topo, ebb, reps, json);
+
+    // The congested regime the rewrite targets: several permutations
+    // overlaid share channels unevenly, so the filling passes through
+    // many levels and the reference rescans everything at each one.
+    std::vector<std::vector<sim::Flow>> merged;
+    merged.push_back(
+        bench::merged_permutations_set(hx, rng, args.quick ? 4 : 8));
+    compare_engines("hyperx_merged_perms", *hx.topo, merged, reps, json);
+
+    std::vector<std::vector<sim::Flow>> ft_uniform;
+    for (std::int32_t s = 0; s < samples; ++s)
+      ft_uniform.push_back(bench::uniform_flow_set(ft, rng));
+    compare_engines("ftree_uniform", *ft.topo, ft_uniform, reps, json);
+
+    std::vector<std::vector<sim::Flow>> ft_merged;
+    ft_merged.push_back(
+        bench::merged_permutations_set(ft, rng, args.quick ? 4 : 8));
+    compare_engines("ftree_merged_perms", *ft.topo, ft_merged, reps, json);
+  }
+
+  // --- phase 2: batch scaling through solve_batch -----------------------
+  {
+    std::vector<std::vector<sim::Flow>> sets;
+    const std::int32_t batches = args.quick ? 8 : 16;
+    for (std::int32_t s = 0; s < batches; ++s)
+      sets.push_back(bench::uniform_flow_set(hx, rng));
+
+    const sim::FlowSim solver(*hx.topo);
+    const std::int32_t max_threads = std::min<std::int32_t>(
+        8, args.threads > 0 ? args.threads : exec::hardware_threads());
+    std::vector<std::vector<double>> reference;
+    double base_seconds = 0.0;
+    for (std::int32_t t = 1; t <= max_threads; t *= 2) {
+      bench::PhaseClock clock;
+      auto batch = solver.solve_batch(sets, t);
+      const double seconds = clock.lap();
+      if (t == 1) {
+        base_seconds = seconds;
+        reference = std::move(batch);
+      } else {
+        for (std::size_t i = 0; i < reference.size(); ++i)
+          if (!rates_equal(reference[i], batch[i])) {
+            std::fprintf(stderr,
+                         "solve_batch: %d-thread set %zu differs from "
+                         "1-thread!\n",
+                         t, i);
+            std::exit(1);
+          }
+      }
+      const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+      std::printf("solve_batch_uniform      threads=%-2d  %8.1f ms  speedup "
+                  "%.2fx\n",
+                  t, seconds * 1e3, speedup);
+      json.add("solve_batch_uniform",
+               {{"threads", static_cast<double>(t)},
+                {"sets", static_cast<double>(batches)},
+                {"seconds", seconds},
+                {"speedup", speedup}});
+    }
+  }
+
+  json.write(".");
+  std::printf("OK: indexed engine bit-identical to reference on all phases\n");
+  return 0;
+}

@@ -280,6 +280,68 @@ OracleResult check_flow_invariants(const sim::FlowSim& fs,
   return oracle_pass();
 }
 
+OracleResult check_flowsim_engines_identical(
+    std::span<const double> reference_rates,
+    std::span<const double> indexed_rates,
+    const obs::FlowSolveRecord& reference_record,
+    const obs::FlowSolveRecord& indexed_record) {
+  if (reference_rates.size() != indexed_rates.size())
+    return oracle_fail("rate vector sizes differ");
+  // Bitwise, not ==: the contract is that the indexed engine replays the
+  // reference's exact FP operation order, so even -0.0 vs 0.0 or
+  // differently-rounded last bits are divergences.
+  for (std::size_t i = 0; i < reference_rates.size(); ++i) {
+    if (std::memcmp(&reference_rates[i], &indexed_rates[i],
+                    sizeof(double)) != 0) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "rate[" << i << "] diverges: reference " << reference_rates[i]
+         << " vs indexed " << indexed_rates[i];
+      return oracle_fail(os.str());
+    }
+  }
+  if (reference_record.active_flows != indexed_record.active_flows)
+    return oracle_fail("FlowSolveRecord.active_flows differs");
+  if (reference_record.levels.size() != indexed_record.levels.size())
+    return oracle_fail("FlowSolveRecord.levels length differs");
+  for (std::size_t i = 0; i < reference_record.levels.size(); ++i) {
+    if (std::memcmp(&reference_record.levels[i], &indexed_record.levels[i],
+                    sizeof(double)) != 0) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "FlowSolveRecord.levels[" << i << "] diverges: reference "
+         << reference_record.levels[i] << " vs indexed "
+         << indexed_record.levels[i];
+      return oracle_fail(os.str());
+    }
+  }
+  if (reference_record.freezes_per_level != indexed_record.freezes_per_level)
+    return oracle_fail("FlowSolveRecord.freezes_per_level differs");
+  if (reference_record.saturated != indexed_record.saturated)
+    return oracle_fail(
+        "FlowSolveRecord.saturated differs (set or first-saturation order)");
+  return oracle_pass();
+}
+
+OracleResult check_flow_levels_monotone(const obs::FlowSolveRecord& record) {
+  for (std::size_t i = 0; i < record.levels.size(); ++i) {
+    const double level = record.levels[i];
+    if (std::isnan(level) || level < 0.0) {
+      std::ostringstream os;
+      os << "level " << i << " is NaN or negative (" << level << ")";
+      return oracle_fail(os.str());
+    }
+    if (i > 0 && level < record.levels[i - 1]) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "fill level descended at step " << i << ": "
+         << record.levels[i - 1] << " -> " << level;
+      return oracle_fail(os.str());
+    }
+  }
+  return oracle_pass();
+}
+
 // --- scenario oracles ------------------------------------------------------
 
 namespace {
@@ -603,6 +665,69 @@ OracleResult oracle_flow_invariants(const Scenario& s) {
   return oracle_pass();
 }
 
+OracleResult oracle_flowsim_engine_identity(const Scenario& s) {
+  Fabric f = build_fabric(s);
+  const sim::FlowSim reference(f.topo(), {},
+                               sim::FlowSim::SolverEngine::kReference);
+  const sim::FlowSim indexed(f.topo(), {},
+                             sim::FlowSim::SolverEngine::kIndexed);
+
+  const auto solve_and_compare =
+      [&](const routing::RouteResult& route, std::uint64_t seed,
+          const std::string& label) -> OracleResult {
+    stats::Rng rng(seed);
+    const auto n = static_cast<std::uint64_t>(f.topo().num_terminals());
+    std::vector<sim::Flow> flows;
+    for (std::int32_t attempts = 0;
+         static_cast<std::int32_t>(flows.size()) < s.flow_pairs &&
+         attempts < s.flow_pairs * 10;
+         ++attempts) {
+      const auto src = static_cast<topo::NodeId>(rng.next_below(n));
+      const auto dst = static_cast<topo::NodeId>(rng.next_below(n));
+      if (src == dst) continue;
+      auto path = route.tables.path(f.topo(), *f.lids, src,
+                                    f.lids->base_lid(dst));
+      if (!path.ok) continue;  // lost pair (faulted fabric): skip
+      sim::Flow flow;
+      flow.channels = std::move(path.channels);
+      flow.bytes = s.traffic.bytes;
+      flows.push_back(std::move(flow));
+    }
+    if (flows.empty()) return oracle_pass();  // nothing routable to solve
+
+    obs::FlowSolveTrace reference_trace;
+    obs::FlowSolveTrace indexed_trace;
+    const std::vector<double> reference_rates =
+        reference.fair_rates(flows, &reference_trace);
+    const std::vector<double> indexed_rates =
+        indexed.fair_rates(flows, &indexed_trace);
+    OracleResult check = check_flowsim_engines_identical(
+        reference_rates, indexed_rates, reference_trace.solves.at(0),
+        indexed_trace.solves.at(0));
+    if (check.pass)
+      check = check_flow_levels_monotone(indexed_trace.solves.at(0));
+    if (!check.pass) check.detail = label + ": " + check.detail;
+    return check;
+  };
+
+  const ComputedRoute pristine = try_compute(s, f);
+  if (!pristine.route) return skip("engine refused: " + pristine.refusal);
+  OracleResult check =
+      solve_and_compare(*pristine.route, s.traffic_seed, "pristine");
+  if (!check.pass) return check;
+
+  if (f.faults.num_stages() > 0) {
+    (void)f.faults.apply_all(f.topo());
+    const ComputedRoute faulted = try_compute(s, f);
+    if (faulted.route) {
+      check = solve_and_compare(*faulted.route, s.traffic_seed ^ 0x1dedu,
+                                "faulted");
+      if (!check.pass) return check;
+    }
+  }
+  return oracle_pass();
+}
+
 constexpr OracleEntry kOracles[] = {
     {"pktsim_identity", oracle_pktsim_identity},
     {"pkt_conservation", oracle_pkt_conservation},
@@ -610,6 +735,7 @@ constexpr OracleEntry kOracles[] = {
     {"delta_identity", oracle_delta_identity},
     {"table_audit", oracle_table_audit},
     {"flow_invariants", oracle_flow_invariants},
+    {"flowsim_engine_identity", oracle_flowsim_engine_identity},
 };
 
 }  // namespace

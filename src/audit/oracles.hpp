@@ -23,6 +23,10 @@
 //                        on faulted fabrics -- see the .cpp)
 //      flow_invariants   max-min feasibility (sum rates <= capacity) and
 //                        bottleneck optimality for every unfrozen flow
+//      flowsim_engine_identity
+//                        kIndexed vs kReference max-min core: rates and
+//                        FlowSolveRecord bit for bit, levels monotone,
+//                        pristine and faulted fabrics alike
 //
 // Oracles treat a *deterministic* engine refusal (e.g. DFSSSP exhausting
 // its VL budget on a hostile fabric) as a skip, not a failure; anything
@@ -96,6 +100,21 @@ struct TableExpectations {
 [[nodiscard]] OracleResult check_flow_invariants(
     const sim::FlowSim& fs, std::span<const sim::Flow> flows,
     std::span<const double> rates);
+
+/// Indexed-vs-reference flow-solver identity: rates bitwise equal and
+/// every FlowSolveRecord field (active_flows, levels, freezes_per_level,
+/// saturated order) identical -- the standing SolverEngine contract.
+[[nodiscard]] OracleResult check_flowsim_engines_identical(
+    std::span<const double> reference_rates,
+    std::span<const double> indexed_rates,
+    const obs::FlowSolveRecord& reference_record,
+    const obs::FlowSolveRecord& indexed_record);
+
+/// Progressive-filling levels must be nondecreasing within one solve: the
+/// common fill level only ever rises, so a descending step means the
+/// solver (or a record mutation) broke the filling order.
+[[nodiscard]] OracleResult check_flow_levels_monotone(
+    const obs::FlowSolveRecord& record);
 
 // --- scenario oracles ------------------------------------------------------
 

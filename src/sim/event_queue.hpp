@@ -65,6 +65,85 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
 };
 
+namespace detail {
+
+/// The shared flat 4-ary implicit-heap core: contiguous `Entry` records
+/// ordered by `Earlier` (a strict total order -- every user breaks key
+/// ties with a monotone or caller-controlled secondary field, so pops are
+/// deterministic).  FlatEventHeap adds simulation-clock semantics on top;
+/// FlatKeyHeap adds re-keyable priorities (the flow solver's channel
+/// quotients).  Storage is reserved ahead and kept across clear(), so a
+/// warm heap performs zero allocations per push/pop in the steady state.
+template <typename Entry, typename Earlier>
+class Flat4Heap {
+ public:
+  void reserve(std::size_t entries) { heap_.reserve(entries); }
+  void clear() noexcept { heap_.clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_.capacity();
+  }
+
+  /// The earliest entry.  Precondition: !empty().
+  [[nodiscard]] const Entry& top() const noexcept { return heap_.front(); }
+
+  void push(const Entry& e) {
+    heap_.push_back(e);
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Removes and returns the earliest entry.  Precondition: !empty().
+  Entry pop() {
+    const Entry top = heap_.front();
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      sift_down(0);
+    }
+    return top;
+  }
+
+ private:
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) noexcept {
+    return Earlier{}(a, b);
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (earlier(heap_[c], heap_[best])) best = c;
+      if (!earlier(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace detail
+
 /// Typed allocation-free event core (see the header comment).  Payload must
 /// be cheaply copyable (a small POD event record).  Ordering is identical
 /// to EventQueue: strictly by (when, seq), so any two cores fed the same
@@ -100,8 +179,7 @@ class FlatEventHeap {
     if (!(when >= now_))
       throw std::invalid_argument(
           "FlatEventHeap::schedule: event in the past (or NaN time)");
-    heap_.push_back(Entry{when, next_seq_++, payload});
-    sift_up(heap_.size() - 1);
+    heap_.push(Entry{when, next_seq_++, payload});
   }
 
   /// Convenience: schedule at now() + delay.
@@ -112,14 +190,8 @@ class FlatEventHeap {
   /// Pops the earliest event, advances now() to its timestamp, and returns
   /// its payload.  Precondition: !empty().
   Payload pop() {
-    const Entry top = heap_.front();
+    const Entry top = heap_.pop();
     now_ = top.when;
-    const Entry last = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) {
-      heap_.front() = last;
-      sift_down(0);
-    }
     return top.payload;
   }
 
@@ -129,43 +201,60 @@ class FlatEventHeap {
     std::uint64_t seq;
     Payload payload;
   };
-
-  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) noexcept {
-    if (a.when != b.when) return a.when < b.when;
-    return a.seq < b.seq;
-  }
-
-  void sift_up(std::size_t i) noexcept {
-    const Entry e = heap_[i];
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 4;
-      if (!earlier(e, heap_[parent])) break;
-      heap_[i] = heap_[parent];
-      i = parent;
+  struct EarlierEntry {
+    [[nodiscard]] bool operator()(const Entry& a,
+                                  const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when < b.when;
+      return a.seq < b.seq;
     }
-    heap_[i] = e;
-  }
+  };
 
-  void sift_down(std::size_t i) noexcept {
-    const Entry e = heap_[i];
-    const std::size_t n = heap_.size();
-    for (;;) {
-      const std::size_t first = 4 * i + 1;
-      if (first >= n) break;
-      std::size_t best = first;
-      const std::size_t last = first + 4 < n ? first + 4 : n;
-      for (std::size_t c = first + 1; c < last; ++c)
-        if (earlier(heap_[c], heap_[best])) best = c;
-      if (!earlier(heap_[best], e)) break;
-      heap_[i] = heap_[best];
-      i = best;
-    }
-    heap_[i] = e;
-  }
-
-  std::vector<Entry> heap_;
+  detail::Flat4Heap<Entry, EarlierEntry> heap_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+};
+
+/// Keyed min-heap on the same flat 4-ary core as FlatEventHeap, ordered by
+/// (key, tag).  No clock, no monotonicity requirement: unlike event
+/// timestamps, keys may go up as well as down across pushes -- the flow
+/// solver's channel fill quotients do exactly that as freezes land.  The
+/// 64-bit tag carries the caller's payload *and* is the deterministic
+/// tie-break (the role seq plays in FlatEventHeap); re-keying is done
+/// lazily by pushing a fresh entry under a new tag and discarding stale
+/// tags at pop time (the caller owns the validity test).
+class FlatKeyHeap {
+ public:
+  struct Entry {
+    double key;
+    std::uint64_t tag;
+  };
+
+  void reserve(std::size_t entries) { heap_.reserve(entries); }
+  void clear() noexcept { heap_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_.capacity();
+  }
+
+  /// The minimum entry.  Precondition: !empty().
+  [[nodiscard]] const Entry& top() const noexcept { return heap_.top(); }
+
+  void push(double key, std::uint64_t tag) { heap_.push(Entry{key, tag}); }
+
+  /// Removes and returns the minimum entry.  Precondition: !empty().
+  Entry pop() { return heap_.pop(); }
+
+ private:
+  struct EarlierEntry {
+    [[nodiscard]] bool operator()(const Entry& a,
+                                  const Entry& b) const noexcept {
+      if (a.key != b.key) return a.key < b.key;
+      return a.tag < b.tag;
+    }
+  };
+
+  detail::Flat4Heap<Entry, EarlierEntry> heap_;
 };
 
 }  // namespace hxsim::sim

@@ -13,11 +13,22 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
-FlowSim::FlowSim(const topo::Topology& topo, LinkModel link)
+FlowSim::FlowSim(const topo::Topology& topo, LinkModel link,
+                 SolverEngine engine)
     : topo_(&topo),
       link_(link),
       capacity_(static_cast<std::size_t>(topo.num_channels()),
-                link.bandwidth) {}
+                link.bandwidth),
+      engine_(engine) {}
+
+void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
+                    std::span<double> rate, SolveScratch& scratch,
+                    obs::FlowSolveRecord* record) const {
+  if (engine_ == SolverEngine::kReference)
+    solve_reference(flows, active, rate, scratch, record);
+  else
+    solve_indexed(flows, active, rate, scratch, record);
+}
 
 void FlowSim::set_capacity(topo::ChannelId ch, double bytes_per_s) {
   if (bytes_per_s <= 0.0)
@@ -25,9 +36,10 @@ void FlowSim::set_capacity(topo::ChannelId ch, double bytes_per_s) {
   capacity_.at(static_cast<std::size_t>(ch)) = bytes_per_s;
 }
 
-void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
-                    std::span<double> rate, SolveScratch& scratch,
-                    obs::FlowSolveRecord* record) const {
+void FlowSim::solve_reference(std::span<const Flow> flows,
+                              std::span<const char> active,
+                              std::span<double> rate, SolveScratch& scratch,
+                              obs::FlowSolveRecord* record) const {
   // Progressive filling: all unfrozen flows share one common rate level
   // that rises until some channel saturates; flows crossing a saturated
   // channel freeze at the level, and the level keeps rising for the rest.
@@ -206,6 +218,275 @@ void FlowSim::solve(std::span<const Flow> flows, std::span<const char> active,
   for (topo::ChannelId ch : used) local_of[static_cast<std::size_t>(ch)] = -1;
 }
 
+namespace {
+
+/// Heap tags pack (local channel, version): the version makes stale
+/// entries detectable after a lazy re-key, and the whole tag doubles as
+/// the deterministic tie-break among equal quotients.
+[[nodiscard]] constexpr std::uint64_t quotient_tag(std::int32_t channel,
+                                                   std::uint32_t version) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(channel))
+          << 32) |
+         version;
+}
+[[nodiscard]] constexpr std::int32_t tag_channel(std::uint64_t tag) {
+  return static_cast<std::int32_t>(tag >> 32);
+}
+[[nodiscard]] constexpr std::uint32_t tag_version(std::uint64_t tag) {
+  return static_cast<std::uint32_t>(tag);
+}
+
+}  // namespace
+
+void FlowSim::solve_indexed(std::span<const Flow> flows,
+                            std::span<const char> active,
+                            std::span<double> rate, SolveScratch& scratch,
+                            obs::FlowSolveRecord* record) const {
+  // Same progressive filling as solve_reference, restructured so a round
+  // costs O(saturated-incident work) instead of O(flows x path):
+  //
+  //  - CSR incidence both ways (flow -> local channel in path order,
+  //    channel -> flow in ascending flow order) is built once per solve;
+  //  - every live channel keeps its current fill quotient
+  //    (capacity - frozen_load) / unfrozen_count in a keyed lazy min-heap
+  //    (FlatKeyHeap: the FlatEventHeap 4-ary layout, no clock).  A
+  //    quotient change bumps the channel's version and pushes a fresh
+  //    entry; entries whose tag version is stale are discarded at pop, so
+  //    every live entry's key is the channel's *current* quotient;
+  //  - a round pops the heap minimum (the reference's level -- min over
+  //    live channels of the identical division), then keeps popping live
+  //    entries while key <= level * (1 + 1e-12), which is exactly the set
+  //    the reference's saturation rescan marks;
+  //  - only flows incident to those newly saturated channels are visited.
+  //
+  // Bit-identity with the reference is by construction, not accident:
+  // quotients are computed by the same expression on the same operands,
+  // min over doubles is order-independent, the saturation test compares
+  // the same two values, and the freeze loop visits hit flows in
+  // ascending flow index (the candidate list is sorted) walking each
+  // path in order -- so frozen_load accumulates through the identical
+  // sequence of additions and every level/rate/record field matches the
+  // reference bit for bit.  tests/flowsim_golden_test.cpp and the
+  // flowsim_engine_identity fuzz oracle hold both engines to that.
+  auto& local_of = scratch.local_of;
+  auto& used = scratch.used;
+  auto& frozen = scratch.frozen;
+  if (local_of.size() != capacity_.size()) local_of.assign(capacity_.size(), -1);
+  used.clear();
+  frozen.assign(flows.size(), 0);
+
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!active[f]) continue;
+    if (flows[f].channels.empty()) {
+      rate[f] = kInf;  // self-send: no network resource consumed
+      continue;
+    }
+    ++remaining;
+    for (topo::ChannelId ch : flows[f].channels) {
+      auto& idx = local_of[static_cast<std::size_t>(ch)];
+      if (idx < 0) {
+        idx = static_cast<std::int32_t>(used.size());
+        used.push_back(ch);
+      }
+    }
+  }
+
+  const std::size_t nused = used.size();
+  auto& frozen_load = scratch.frozen_load;
+  auto& unfrozen_count = scratch.unfrozen_count;
+  frozen_load.assign(nused, 0.0);
+  unfrozen_count.assign(nused, 0);
+  auto& ever_saturated = scratch.ever_saturated;
+  if (record != nullptr) {
+    record->active_flows = static_cast<std::int32_t>(remaining);
+    ever_saturated.assign(nused, 0);
+  }
+
+  // CSR incidence.  flow_ch carries local channel indices in path order
+  // (multiplicity preserved -- the reference counts a repeated channel
+  // once per occurrence); chan_flow is filled by an ascending flow scan,
+  // so each channel's flow list comes out sorted.
+  auto& flow_off = scratch.flow_off;
+  auto& flow_ch = scratch.flow_ch;
+  auto& chan_off = scratch.chan_off;
+  auto& chan_flow = scratch.chan_flow;
+  auto& chan_cursor = scratch.chan_cursor;
+  flow_off.assign(flows.size() + 1, 0);
+  std::size_t total_hops = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (active[f] && !flows[f].channels.empty())
+      total_hops += flows[f].channels.size();
+    flow_off[f + 1] = static_cast<std::int32_t>(total_hops);
+  }
+  flow_ch.resize(total_hops);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (!active[f] || flows[f].channels.empty()) continue;
+    std::int32_t* out = flow_ch.data() + flow_off[f];
+    for (topo::ChannelId ch : flows[f].channels) {
+      const auto c = local_of[static_cast<std::size_t>(ch)];
+      ++unfrozen_count[static_cast<std::size_t>(c)];
+      *out++ = c;
+    }
+  }
+  chan_off.assign(nused + 1, 0);
+  for (const std::int32_t c : flow_ch) ++chan_off[static_cast<std::size_t>(c) + 1];
+  for (std::size_t c = 0; c < nused; ++c) chan_off[c + 1] += chan_off[c];
+  chan_flow.resize(total_hops);
+  chan_cursor.assign(chan_off.begin(), chan_off.end());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (std::int32_t i = flow_off[f]; i < flow_off[f + 1]; ++i)
+      chan_flow[static_cast<std::size_t>(
+          chan_cursor[static_cast<std::size_t>(flow_ch[static_cast<std::size_t>(
+              i)])]++)] = static_cast<std::int32_t>(f);
+  }
+
+  // Seed the quotient heap: one live entry per used channel.  The key is
+  // the reference's exact level expression on the same operands.
+  auto& version = scratch.version;
+  auto& quotients = scratch.quotients;
+  version.assign(nused, 0);
+  quotients.clear();
+  const auto quotient_of = [&](std::size_t c) {
+    const double cap = std::max(
+        0.0, capacity_[static_cast<std::size_t>(used[c])] - frozen_load[c]);
+    return cap / unfrozen_count[c];
+  };
+  for (std::size_t c = 0; c < nused; ++c)
+    quotients.push(quotient_of(c), quotient_tag(static_cast<std::int32_t>(c), 0));
+
+  auto& dirty = scratch.dirty;
+  auto& dirty_mark = scratch.dirty_mark;
+  auto& sat_chans = scratch.sat_chans;
+  auto& candidates = scratch.candidates;
+  auto& candidate_mark = scratch.candidate_mark;
+  dirty.clear();
+  dirty_mark.assign(nused, 0);
+  candidate_mark.assign(flows.size(), 0);
+
+  while (remaining > 0) {
+    // The common level: the minimum current quotient.  Stale heap entries
+    // (version mismatch) are popped and discarded until a live one tops.
+    double level = kInf;
+    while (!quotients.empty()) {
+      const FlatKeyHeap::Entry top = quotients.top();
+      const auto c = static_cast<std::size_t>(tag_channel(top.tag));
+      if (tag_version(top.tag) != version[c]) {
+        (void)quotients.pop();
+        continue;
+      }
+      level = top.key;
+      break;
+    }
+    if (level == kInf) {
+      // Defensive: no loaded channel left although flows remain unfrozen
+      // (same branch, same ascending sweep as the reference).
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (!active[f] || frozen[f] || flows[f].channels.empty()) continue;
+        frozen[f] = 1;
+        rate[f] = 0.0;
+      }
+      remaining = 0;
+      break;
+    }
+
+    // Saturated set: every live channel whose current quotient is within
+    // the reference's (1 + 1e-12) relative slack of the level.  Live keys
+    // are current quotients, so popping while key <= threshold collects
+    // exactly the channels the reference's rescan marks.  A saturated
+    // channel's unfrozen flows all freeze this round, so it leaves the
+    // live set: retire its version here, no re-push later.
+    const double threshold = level * (1.0 + 1e-12);
+    sat_chans.clear();
+    while (!quotients.empty() && quotients.top().key <= threshold) {
+      const FlatKeyHeap::Entry e = quotients.pop();
+      const auto c = static_cast<std::size_t>(tag_channel(e.tag));
+      if (tag_version(e.tag) != version[c]) continue;
+      ++version[c];
+      sat_chans.push_back(static_cast<std::int32_t>(c));
+    }
+    // Ascending local index = the reference's worklist order (its
+    // compaction preserves the initial ascending layout), so the record's
+    // first-saturation stream matches.
+    std::sort(sat_chans.begin(), sat_chans.end());
+
+    // Flows incident to the newly saturated channels -- the only flows
+    // this round can freeze.  Sorted ascending so freezes (and the
+    // frozen_load additions below) replay the reference's flow order.
+    candidates.clear();
+    for (const std::int32_t ci : sat_chans) {
+      const auto c = static_cast<std::size_t>(ci);
+      for (std::int32_t i = chan_off[c]; i < chan_off[c + 1]; ++i) {
+        const std::int32_t f = chan_flow[static_cast<std::size_t>(i)];
+        if (frozen[static_cast<std::size_t>(f)] ||
+            candidate_mark[static_cast<std::size_t>(f)])
+          continue;
+        candidate_mark[static_cast<std::size_t>(f)] = 1;
+        candidates.push_back(f);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    std::int32_t froze_count = 0;
+    for (const std::int32_t fi : candidates) {
+      const auto f = static_cast<std::size_t>(fi);
+      candidate_mark[f] = 0;
+      frozen[f] = 1;
+      ++froze_count;
+      rate[f] = level;
+      --remaining;
+      for (std::int32_t i = flow_off[f]; i < flow_off[f + 1]; ++i) {
+        const auto c =
+            static_cast<std::size_t>(flow_ch[static_cast<std::size_t>(i)]);
+        --unfrozen_count[c];
+        frozen_load[c] += level;
+        if (!dirty_mark[c]) {
+          dirty_mark[c] = 1;
+          dirty.push_back(static_cast<std::int32_t>(c));
+        }
+      }
+    }
+    if (froze_count == 0) {
+      // Numerical guard: freeze everything at the current level (the
+      // reference's ascending sweep; unreachable in practice -- the
+      // minimising channel always saturates).
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (!active[f] || frozen[f] || flows[f].channels.empty()) continue;
+        frozen[f] = 1;
+        ++froze_count;
+        rate[f] = level;
+      }
+      remaining = 0;
+    }
+    if (record != nullptr) {
+      record->levels.push_back(level);
+      record->freezes_per_level.push_back(froze_count);
+      for (const std::int32_t ci : sat_chans) {
+        const auto c = static_cast<std::size_t>(ci);
+        if (!ever_saturated[c]) {
+          ever_saturated[c] = 1;
+          record->saturated.push_back(used[c]);
+        }
+      }
+    }
+    // Re-key the channels the freezes touched: bump the version (stale
+    // entries die lazily) and push the fresh quotient while the channel
+    // still carries unfrozen flows.
+    for (const std::int32_t ci : dirty) {
+      const auto c = static_cast<std::size_t>(ci);
+      dirty_mark[c] = 0;
+      ++version[c];
+      if (unfrozen_count[c] > 0)
+        quotients.push(quotient_of(c),
+                       quotient_tag(ci, version[c]));
+    }
+    dirty.clear();
+  }
+
+  // Un-dirty the persistent channel map for the next solve on this scratch.
+  for (topo::ChannelId ch : used) local_of[static_cast<std::size_t>(ch)] = -1;
+}
+
 void FlowSim::validate(std::span<const Flow> flows) const {
   validate_active(flows, {});
 }
@@ -237,10 +518,12 @@ void FlowSim::validate_active(std::span<const Flow> flows,
 std::vector<double> FlowSim::fair_rates(std::span<const Flow> flows,
                                         obs::FlowSolveTrace* trace) const {
   validate(flows);
-  SolveScratch scratch;
+  // Solve on the engine-owned warm scratch (not a fresh one per call), so
+  // sweep loops that call fair_rates in a loop allocate only the returned
+  // rate vector once the scratch is sized.
   std::vector<double> rate(flows.size(), 0.0);
-  scratch.active.assign(flows.size(), 1);
-  solve(flows, scratch.active, rate, scratch,
+  scratch_.active.assign(flows.size(), 1);
+  solve(flows, scratch_.active, rate, scratch_,
         trace != nullptr ? &trace->solves.emplace_back() : nullptr);
   return rate;
 }
@@ -295,11 +578,13 @@ std::vector<double> FlowSim::completion_times(
   }
 
   double now = 0.0;
-  SolveScratch scratch;
   std::vector<double> rate(flows.size(), 0.0);
   while (live > 0) {
     std::fill(rate.begin(), rate.end(), 0.0);
-    solve(flows, active, rate, scratch,
+    // Reallocation rounds reuse the engine-owned warm scratch: the flow
+    // set's incidence footprint is sized on round one, later rounds solve
+    // allocation-free.
+    solve(flows, active, rate, scratch_,
           trace != nullptr ? &trace->solves.emplace_back() : nullptr);
 
     // Advance to the earliest completion under the current allocation.

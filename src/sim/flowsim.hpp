@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/flow_trace.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/link_model.hpp"
 #include "topo/topology.hpp"
 
@@ -34,16 +35,33 @@ struct Flow {
 
 class FlowSim {
  public:
-  explicit FlowSim(const topo::Topology& topo, LinkModel link = {});
+  /// Max-min core selection.  kIndexed (default) propagates saturation
+  /// through CSR flow<->channel incidence and a keyed lazy min-heap of
+  /// channel fill quotients, touching only flows incident to newly
+  /// saturated channels per filling round; kReference is the original
+  /// full-rescan progressive filler, kept verbatim as the always-verified
+  /// oracle.  The two are *bitwise* identical -- rates and FlowSolveRecord
+  /// output alike -- a contract pinned by tests/flowsim_golden_test.cpp,
+  /// the fuzz-audit flowsim_engine_identity oracle, and the
+  /// bench/flowsim_scaling check mode.
+  enum class SolverEngine : std::int8_t { kIndexed, kReference };
+
+  explicit FlowSim(const topo::Topology& topo, LinkModel link = {},
+                   SolverEngine engine = SolverEngine::kIndexed);
 
   /// Override one channel's capacity [bytes/s].
   void set_capacity(topo::ChannelId ch, double bytes_per_s);
 
   [[nodiscard]] const LinkModel& link() const noexcept { return link_; }
 
+  [[nodiscard]] SolverEngine engine() const noexcept { return engine_; }
+  void set_engine(SolverEngine engine) noexcept { engine_ = engine; }
+
   /// Reusable progressive-filling state.  One per worker thread; passing
   /// the same scratch to repeated solves removes every per-call heap
-  /// allocation except the returned rate vector.
+  /// allocation: a warm kIndexed solve through solve_active performs ZERO
+  /// heap allocations (enforced by tests/flowsim_alloc_test.cpp with a
+  /// counting global operator new).
   struct SolveScratch {
     std::vector<std::int32_t> local_of;
     std::vector<topo::ChannelId> used;
@@ -52,13 +70,38 @@ class FlowSim {
     std::vector<std::int32_t> unfrozen_count;
     std::vector<char> saturated;
     /// Local indices of channels still carrying unfrozen flows; compacted
-    /// after each filling level so late levels scan only live channels.
+    /// after each filling level so late levels scan only live channels
+    /// (kReference only; kIndexed tracks liveness through the heap).
     std::vector<std::int32_t> worklist;
     /// First-saturation marks for trace recording (sized only when a solve
     /// actually traces, but persistent so traced solves stay
     /// allocation-free too).
     std::vector<char> ever_saturated;
     std::vector<char> active;  // used by the batch driver
+
+    // --- kIndexed state (see "Flow-solver internals" in ARCHITECTURE.md).
+    /// CSR flow -> local-channel incidence: flow f's channels (as local
+    /// indices, in path order) live in flow_ch[flow_off[f]..flow_off[f+1]).
+    std::vector<std::int32_t> flow_off;
+    std::vector<std::int32_t> flow_ch;
+    /// CSR local-channel -> flow incidence: channel c's incident flows (in
+    /// ascending flow order, with multiplicity) live in
+    /// chan_flow[chan_off[c]..chan_off[c+1]).
+    std::vector<std::int32_t> chan_off;
+    std::vector<std::int32_t> chan_flow;
+    std::vector<std::int32_t> chan_cursor;  // CSR fill cursors
+    /// Heap-entry invalidation: an entry is live iff its tag's version
+    /// matches; every quotient change bumps the version and pushes a fresh
+    /// entry, stale ones are discarded at pop time.
+    std::vector<std::uint32_t> version;
+    std::vector<std::int32_t> dirty;  // channels touched this round
+    std::vector<char> dirty_mark;
+    std::vector<std::int32_t> sat_chans;    // channels saturated this round
+    std::vector<std::int32_t> candidates;   // flows incident to them
+    std::vector<char> candidate_mark;
+    /// Channel fill quotients (capacity - frozen_load) / unfrozen_count in
+    /// a keyed lazy min-heap (the FlatEventHeap 4-ary layout).
+    FlatKeyHeap quotients;
   };
 
   /// Steady-state max-min fair rates [bytes/s] for the given flow set
@@ -66,6 +109,12 @@ class FlowSim {
   /// is given, one obs::FlowSolveRecord is appended describing the solve
   /// (levels, freezes, saturated channels); tracing never changes the
   /// rates.
+  ///
+  /// Solves on the engine-owned warm scratch (like completion_times and
+  /// channel_utilisation), so sweep loops stop re-warming per call; these
+  /// convenience entry points therefore must not run concurrently on one
+  /// FlowSim -- concurrent callers go through solve_batch (per-worker
+  /// scratch) or solve_active (caller-owned scratch).
   [[nodiscard]] std::vector<double> fair_rates(
       std::span<const Flow> flows,
       obs::FlowSolveTrace* trace = nullptr) const;
@@ -127,13 +176,35 @@ class FlowSim {
 
   /// Max-min over a subset of flows (active[i] selects), writing rates.
   /// `record`, when non-null, captures the solve's convergence trace.
+  /// Dispatches on engine(); both paths produce bit-identical output.
   void solve(std::span<const Flow> flows, std::span<const char> active,
              std::span<double> rate, SolveScratch& scratch,
              obs::FlowSolveRecord* record = nullptr) const;
 
+  /// The seed progressive filler: every filling round rescans all flows
+  /// (and every hop of each flow) -- O(rounds x flows x path).  Oracle.
+  void solve_reference(std::span<const Flow> flows,
+                       std::span<const char> active, std::span<double> rate,
+                       SolveScratch& scratch,
+                       obs::FlowSolveRecord* record) const;
+
+  /// The indexed engine: saturation propagated through CSR incidence, fill
+  /// quotients in a keyed lazy min-heap, per round touching only flows
+  /// incident to newly saturated channels.  Bit-identical to the
+  /// reference; see the .cpp for the FP-order argument.
+  void solve_indexed(std::span<const Flow> flows,
+                     std::span<const char> active, std::span<double> rate,
+                     SolveScratch& scratch,
+                     obs::FlowSolveRecord* record) const;
+
   const topo::Topology* topo_;
   LinkModel link_;
   std::vector<double> capacity_;
+  SolverEngine engine_ = SolverEngine::kIndexed;
+  /// Warm scratch backing the serial convenience entry points
+  /// (fair_rates / completion_times / channel_utilisation); persists
+  /// across calls so sweep loops stop re-warming every iteration.
+  mutable SolveScratch scratch_;
 };
 
 }  // namespace hxsim::sim

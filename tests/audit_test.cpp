@@ -9,7 +9,9 @@
 // validation in build_pkt_messages.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -399,6 +401,91 @@ TEST(OracleChecks, FlowInvariantsDetectCorruptedRates) {
   check = audit::check_flow_invariants(fs, flows, corrupt);
   EXPECT_FALSE(check.pass);
   EXPECT_NE(check.detail.find("bottleneck"), std::string::npos);
+}
+
+TEST(OracleChecks, FlowEngineIdentityDetectsCorruption) {
+  SmallFabric f;
+  const sim::FlowSim reference(f.hx.topo(), {},
+                               sim::FlowSim::SolverEngine::kReference);
+  const sim::FlowSim indexed(f.hx.topo(), {},
+                             sim::FlowSim::SolverEngine::kIndexed);
+  std::vector<sim::Flow> flows(3);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    auto path = f.route.tables.path(
+        f.hx.topo(), f.lids, 0, f.lids.base_lid(static_cast<topo::NodeId>(
+                                    1 + static_cast<topo::NodeId>(i))));
+    ASSERT_TRUE(path.ok);
+    flows[i].channels = std::move(path.channels);
+    flows[i].bytes = 1 << 20;
+  }
+  obs::FlowSolveTrace ref_trace;
+  obs::FlowSolveTrace idx_trace;
+  const std::vector<double> ref_rates = reference.fair_rates(flows, &ref_trace);
+  const std::vector<double> idx_rates = indexed.fair_rates(flows, &idx_trace);
+  ASSERT_EQ(ref_trace.solves.size(), 1u);
+  ASSERT_EQ(idx_trace.solves.size(), 1u);
+  const obs::FlowSolveRecord& ref_rec = ref_trace.solves[0];
+  const obs::FlowSolveRecord& idx_rec = idx_trace.solves[0];
+  EXPECT_TRUE(audit::check_flowsim_engines_identical(ref_rates, idx_rates,
+                                                     ref_rec, idx_rec)
+                  .pass);
+
+  // A single-ulp rate nudge must trip the bitwise comparison.
+  auto corrupt_rates = idx_rates;
+  corrupt_rates[0] = std::nextafter(corrupt_rates[0], 0.0);
+  auto check = audit::check_flowsim_engines_identical(ref_rates, corrupt_rates,
+                                                      ref_rec, idx_rec);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("rate["), std::string::npos);
+
+  // So must every FlowSolveRecord field.
+  obs::FlowSolveRecord corrupt_rec = idx_rec;
+  ASSERT_FALSE(corrupt_rec.levels.empty());
+  corrupt_rec.levels[0] = std::nextafter(corrupt_rec.levels[0], 0.0);
+  check = audit::check_flowsim_engines_identical(ref_rates, idx_rates, ref_rec,
+                                                 corrupt_rec);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("levels"), std::string::npos);
+
+  corrupt_rec = idx_rec;
+  ASSERT_FALSE(corrupt_rec.freezes_per_level.empty());
+  corrupt_rec.freezes_per_level[0] += 1;
+  check = audit::check_flowsim_engines_identical(ref_rates, idx_rates, ref_rec,
+                                                 corrupt_rec);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("freezes_per_level"), std::string::npos);
+
+  corrupt_rec = idx_rec;
+  ASSERT_FALSE(corrupt_rec.saturated.empty());
+  corrupt_rec.saturated.push_back(corrupt_rec.saturated.front());
+  check = audit::check_flowsim_engines_identical(ref_rates, idx_rates, ref_rec,
+                                                 corrupt_rec);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("saturated"), std::string::npos);
+
+  corrupt_rec = idx_rec;
+  corrupt_rec.active_flows += 1;
+  EXPECT_FALSE(audit::check_flowsim_engines_identical(ref_rates, idx_rates,
+                                                      ref_rec, corrupt_rec)
+                   .pass);
+}
+
+TEST(OracleChecks, FlowLevelsMonotoneDetectsDescent) {
+  obs::FlowSolveRecord rec;
+  rec.levels = {1.0, 1.0, 2.5};
+  rec.freezes_per_level = {1, 1, 1};
+  EXPECT_TRUE(audit::check_flow_levels_monotone(rec).pass);
+
+  rec.levels = {1.0, 2.5, 2.0};  // filling level descended: broken order
+  auto check = audit::check_flow_levels_monotone(rec);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("descended"), std::string::npos);
+
+  rec.levels = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(audit::check_flow_levels_monotone(rec).pass);
+
+  rec.levels = {-1.0};
+  EXPECT_FALSE(audit::check_flow_levels_monotone(rec).pass);
 }
 
 // --- shrinking -------------------------------------------------------------
