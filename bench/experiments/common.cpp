@@ -61,6 +61,7 @@ void register_all_experiments(report::Registry& registry) {
   registry.add(reroute_dirty_experiment());
   registry.add(pktsim_speedup_experiment());
   registry.add(flowsim_speedup_experiment());
+  registry.add(online_resilience_experiment());
 }
 
 report::Registry& global_registry() {

@@ -36,6 +36,11 @@ bool results_equal(const sim::PktSim::Result& a,
          std::memcmp(&a.end_time, &b.end_time, sizeof(double)) == 0 &&
          a.packets_delivered == b.packets_delivered &&
          a.packets_total == b.packets_total &&
+         a.packets_dropped == b.packets_dropped &&
+         a.dropped_by_cause == b.dropped_by_cause &&
+         a.retries == b.retries &&
+         a.messages_abandoned == b.messages_abandoned &&
+         a.message_status == b.message_status &&
          a.events_executed == b.events_executed;
 }
 

@@ -53,6 +53,7 @@ report::Experiment taper_study_experiment();
 report::Experiment reroute_dirty_experiment();
 report::Experiment pktsim_speedup_experiment();
 report::Experiment flowsim_speedup_experiment();
+report::Experiment online_resilience_experiment();
 
 /// Registers every experiment above.
 void register_all_experiments(report::Registry& registry);

@@ -89,6 +89,15 @@ OracleResult check_pkt_results_equal(const sim::PktSim::Result& a,
     return oracle_fail("packets_total differ");
   if (a.events_executed != b.events_executed)
     return oracle_fail("events_executed differ");
+  if (a.packets_dropped != b.packets_dropped)
+    return oracle_fail("packets_dropped differ");
+  if (a.dropped_by_cause != b.dropped_by_cause)
+    return oracle_fail("per-cause drop counters differ");
+  if (a.retries != b.retries) return oracle_fail("retry counters differ");
+  if (a.messages_abandoned != b.messages_abandoned)
+    return oracle_fail("messages_abandoned differ");
+  if (a.message_status != b.message_status)
+    return oracle_fail("message statuses differ");
   return oracle_pass();
 }
 
@@ -102,22 +111,96 @@ OracleResult check_pkt_conservation(std::span<const sim::PktMessage> messages,
     return oracle_fail("negative packet counters");
   if (r.packets_delivered > r.packets_total)
     return oracle_fail("delivered more packets than injected");
+  if (r.packets_dropped < 0 || r.retries < 0 || r.messages_abandoned < 0)
+    return oracle_fail("negative online counters");
+  std::int64_t by_cause = 0;
+  for (const std::int64_t n : r.dropped_by_cause) {
+    if (n < 0) return oracle_fail("negative per-cause drop counter");
+    by_cause += n;
+  }
+  if (by_cause != r.packets_dropped)
+    return oracle_fail("per-cause drop counters do not sum to "
+                       "packets_dropped");
   const bool clean = !r.deadlock && !r.truncated;
-  if (clean && r.packets_delivered != r.packets_total) {
+  if (clean &&
+      r.packets_delivered + r.packets_dropped != r.packets_total) {
     std::ostringstream os;
     os << "clean run lost packets: delivered " << r.packets_delivered
-       << " of " << r.packets_total;
+       << " + dropped " << r.packets_dropped << " of " << r.packets_total;
     return oracle_fail(os.str());
   }
   std::int64_t incomplete = 0;
   for (const double t : r.completion)
     if (std::isnan(t)) ++incomplete;
-  if (clean && incomplete != 0)
-    return oracle_fail("clean run left messages without completion time");
-  if (r.packets_delivered == r.packets_total && incomplete != 0 &&
-      !r.truncated)
+  if (clean && r.packets_dropped == 0 && incomplete != 0)
+    return oracle_fail("clean dropless run left messages incomplete");
+  if (r.packets_delivered == r.packets_total && r.packets_dropped == 0 &&
+      incomplete != 0 && !r.truncated)
     return oracle_fail(
         "all packets delivered yet messages remain incomplete");
+  if (!r.message_status.empty()) {
+    if (r.message_status.size() != messages.size())
+      return oracle_fail("one message_status entry per message expected");
+    std::int64_t abandoned = 0;
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      const bool done = !std::isnan(r.completion[m]);
+      const bool marked =
+          r.message_status[m] == sim::PktMessageStatus::kDelivered;
+      if (done != marked)
+        return oracle_fail("message_status disagrees with completion time");
+      if (r.message_status[m] == sim::PktMessageStatus::kAbandoned)
+        ++abandoned;
+    }
+    if (abandoned != r.messages_abandoned)
+      return oracle_fail("kAbandoned statuses do not match "
+                         "messages_abandoned");
+  }
+  return oracle_pass();
+}
+
+OracleResult check_online_quiesced_equivalent(const sim::PktSim::Result& quiesced,
+                                              const sim::PktSim::Result& base,
+                                              std::int64_t extra_events,
+                                              double last_fault_time) {
+  sim::PktSim::Result credited = base;
+  credited.events_executed += extra_events;
+  if (last_fault_time > credited.end_time)
+    credited.end_time = last_fault_time;
+  if (credited.message_status.empty() && !quiesced.message_status.empty()) {
+    // The base ran without an active online config; the quiesced run's
+    // statuses must then simply restate its completion vector before the
+    // field drops out of the bitwise comparison.
+    if (quiesced.message_status.size() != quiesced.completion.size())
+      return oracle_fail(
+          "quiesced run: one message_status entry per message expected");
+    for (std::size_t m = 0; m < quiesced.message_status.size(); ++m) {
+      const bool done = !std::isnan(quiesced.completion[m]);
+      const bool marked =
+          quiesced.message_status[m] == sim::PktMessageStatus::kDelivered;
+      if (done != marked)
+        return oracle_fail(
+            "quiesced run: message_status disagrees with completion time");
+    }
+    credited.message_status = quiesced.message_status;
+  }
+  OracleResult check = check_pkt_results_equal(quiesced, credited);
+  if (!check.pass)
+    check.detail = "post-quiesce fault feed changed the run: " + check.detail;
+  return check;
+}
+
+OracleResult check_pkt_batches_equal(std::span<const sim::PktSim::Result> a,
+                                     std::span<const sim::PktSim::Result> b) {
+  if (a.size() != b.size())
+    return oracle_fail("batch sizes differ");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    OracleResult check = check_pkt_results_equal(a[i], b[i]);
+    if (!check.pass) {
+      std::ostringstream os;
+      os << "replication " << i << ": " << check.detail;
+      return oracle_fail(os.str());
+    }
+  }
   return oracle_pass();
 }
 
@@ -486,6 +569,93 @@ OracleResult oracle_sweep_determinism(const Scenario& s) {
   return oracle_pass();
 }
 
+OracleResult oracle_online_fault(const Scenario& s) {
+  const Fabric f = build_fabric(s);
+  const ComputedRoute computed = try_compute(s, f);
+  if (!computed.route) return skip("engine refused: " + computed.refusal);
+  const auto msgs =
+      scenario_messages(s, f, &*computed.route, nullptr, "static");
+
+  // A victim channel set: the first routed message's path (guaranteed
+  // in-range for this fabric).
+  const sim::PktMessage* victim = nullptr;
+  for (const sim::PktMessage& m : msgs)
+    if (!m.path.empty()) {
+      victim = &m;
+      break;
+    }
+  if (victim == nullptr) return skip("no routed messages to fault");
+
+  sim::PktSimConfig cfg;
+  cfg.engine = sim::PktSimConfig::Engine::kTyped;
+  sim::PktSim typed_base(f.topo(), cfg);
+  const auto base = typed_base.run(msgs);
+  if (base.deadlock || base.truncated)
+    return skip("base run did not quiesce");
+
+  // 1. Faults strictly after quiesce are inert modulo their own events.
+  sim::PktOnlineConfig after;
+  after.faults.push_back({base.end_time + 1.0, victim->path});
+  sim::PktSimConfig after_cfg = cfg;
+  after_cfg.online = &after;
+  sim::PktSim typed_after(f.topo(), after_cfg);
+  after_cfg.engine = sim::PktSimConfig::Engine::kReference;
+  sim::PktSim reference_after(f.topo(), after_cfg);
+  const auto quiesced = typed_after.run(msgs);
+  OracleResult check = check_pkt_results_equal(quiesced,
+                                               reference_after.run(msgs));
+  if (!check.pass) {
+    check.detail = "post-quiesce feed: typed vs reference: " + check.detail;
+    return check;
+  }
+  check = check_online_quiesced_equivalent(
+      quiesced, base, static_cast<std::int64_t>(after.faults.size()),
+      after.faults.back().time);
+  if (!check.pass) return check;
+
+  // 2. Mid-run faults with retry on: typed/reference identity, run_batch
+  // thread-count invariance, and conservation with drops.
+  sim::PktOnlineConfig mid;
+  mid.faults.push_back({base.end_time * 0.5, victim->path});
+  mid.retry.enabled = true;
+  mid.retry.timeout = base.end_time;
+  mid.retry.backoff_base = base.end_time * 0.25;
+  mid.retry.jitter = 0.5;
+  mid.retry.max_retries = 2;
+  mid.retry.seed = s.traffic_seed | 1;
+  const std::vector<std::vector<sim::PktMessage>> replications(3, msgs);
+
+  sim::PktSimConfig mid_cfg = cfg;
+  mid_cfg.online = &mid;
+  sim::PktSim typed_mid(f.topo(), mid_cfg);
+  const auto serial = typed_mid.run_batch(replications, /*threads=*/1);
+  const auto parallel = typed_mid.run_batch(replications, /*threads=*/4);
+  check = check_pkt_batches_equal(serial, parallel);
+  if (!check.pass) {
+    check.detail = "mid-run fault + retry, 1 vs 4 threads: " + check.detail;
+    return check;
+  }
+  mid_cfg.engine = sim::PktSimConfig::Engine::kReference;
+  sim::PktSim reference_mid(f.topo(), mid_cfg);
+  check = check_pkt_batches_equal(serial,
+                                  reference_mid.run_batch(replications, 1));
+  if (!check.pass) {
+    check.detail =
+        "mid-run fault + retry: typed vs reference: " + check.detail;
+    return check;
+  }
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    check = check_pkt_conservation(replications[i], serial[i]);
+    if (!check.pass) {
+      std::ostringstream os;
+      os << "mid-run fault + retry, replication " << i << ": "
+         << check.detail;
+      return oracle_fail(os.str());
+    }
+  }
+  return oracle_pass();
+}
+
 OracleResult oracle_delta_identity(const Scenario& s) {
   Fabric f = build_fabric(s);
   const auto engine = make_engine(s, f);
@@ -732,6 +902,7 @@ constexpr OracleEntry kOracles[] = {
     {"pktsim_identity", oracle_pktsim_identity},
     {"pkt_conservation", oracle_pkt_conservation},
     {"sweep_determinism", oracle_sweep_determinism},
+    {"online_fault", oracle_online_fault},
     {"delta_identity", oracle_delta_identity},
     {"table_audit", oracle_table_audit},
     {"flow_invariants", oracle_flow_invariants},

@@ -14,6 +14,10 @@
 //                        identical + consistent, truncation =/= deadlock
 //      sweep_determinism run_pkt_sweep at 1 vs 4 threads (static + DAL +
 //                        Valiant arms)
+//      online_fault      timed faults after quiesce change nothing but the
+//                        fault events; mid-run faults with retry hold the
+//                        typed/reference identity and run_batch
+//                        thread-count invariance, drops conserved
 //      delta_identity    DeltaRouter vs fresh full recompute, per fault
 //                        stage and through the revert/re-enable fallback
 //      table_audit       verify_deadlock_freedom + route_census on the
@@ -59,11 +63,31 @@ struct OracleResult {
 [[nodiscard]] OracleResult check_pkt_results_equal(
     const sim::PktSim::Result& a, const sim::PktSim::Result& b);
 
-/// Packet conservation: delivered + undelivered segments == total, NaN
-/// completions match undelivered messages, deadlock and truncated are
-/// mutually exclusive, and a clean run delivered everything.
+/// Packet conservation: delivered + dropped segments == total on a clean
+/// run (a clean *dropless* run delivered everything and left no message
+/// incomplete), per-cause drop counters sum to packets_dropped, deadlock
+/// and truncated are mutually exclusive, and message_status (when the
+/// online layer sized it) agrees with the completion vector.
 [[nodiscard]] OracleResult check_pkt_conservation(
     std::span<const sim::PktMessage> messages, const sim::PktSim::Result& r);
+
+/// Quiesced-fault equivalence: a timed-fault feed firing strictly after
+/// the base run quiesced must change nothing but execute the fault events
+/// themselves.  Equality is bitwise after crediting `base` with
+/// `extra_events` (one per fault feed entry) and with the clock advance to
+/// `last_fault_time` (the feed's latest timestamp: processing the fault
+/// event legitimately moves end_time there); drop/retry accounting must
+/// be EQUAL between the two runs, not zero, so the predicate also serves
+/// shifted-feed comparisons on already-degraded traffic.
+[[nodiscard]] OracleResult check_online_quiesced_equivalent(
+    const sim::PktSim::Result& quiesced, const sim::PktSim::Result& base,
+    std::int64_t extra_events, double last_fault_time);
+
+/// Bitwise equality of two run_batch result vectors (the thread-count
+/// invariance contract: every replication field-for-field identical).
+[[nodiscard]] OracleResult check_pkt_batches_equal(
+    std::span<const sim::PktSim::Result> a,
+    std::span<const sim::PktSim::Result> b);
 
 /// PktTrace counters consistent with the result: terminal-down crossings
 /// sum to packets_delivered, no negative counters, and on a clean run

@@ -1,12 +1,27 @@
 #include "obs/pkt_trace.hpp"
 
+#include <string>
+
 #include "obs/metrics.hpp"
 
 namespace hxsim::obs {
 
+std::string_view to_string(PktDropCause cause) noexcept {
+  switch (cause) {
+    case PktDropCause::kInFlight: return "in_flight";
+    case PktDropCause::kBlackhole: return "blackhole";
+    case PktDropCause::kTtl: return "ttl";
+    case PktDropCause::kSuperseded: return "superseded";
+  }
+  return "unknown";
+}
+
 void PktTrace::reset(std::int32_t num_channels, std::int32_t num_vls) {
   num_channels_ = num_channels;
   num_vls_ = num_vls;
+  drops_.fill(0);
+  retries_ = 0;
+  abandoned_ = 0;
   const std::size_t n = static_cast<std::size_t>(num_channels) *
                         static_cast<std::size_t>(num_vls);
   counters_.assign(n, ChannelVlCounters{});
@@ -72,6 +87,13 @@ void PktTrace::publish(MetricRegistry& registry, const topo::Topology& topo,
   registry.set("pkt_total_packets", static_cast<double>(total_packets));
   registry.set("pkt_total_bytes", static_cast<double>(total_bytes));
   registry.set("pkt_total_credit_stall_s", total_stall);
+  for (std::int32_t c = 0; c < kNumPktDropCauses; ++c) {
+    const PktDropCause cause = static_cast<PktDropCause>(c);
+    registry.set(std::string("pkt_drops_") + std::string(to_string(cause)),
+                 static_cast<double>(drops(cause)));
+  }
+  registry.set("pkt_retries", static_cast<double>(retries_));
+  registry.set("pkt_abandoned", static_cast<double>(abandoned_));
 }
 
 }  // namespace hxsim::obs

@@ -29,6 +29,7 @@
 //                      the exhausted buffers.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -38,6 +39,25 @@
 namespace hxsim::obs {
 
 class MetricRegistry;
+
+/// Why the online-fault layer (sim/online.hpp) dropped a packet.  Causes are
+/// mutually exclusive and charged exactly once per dropped segment.
+enum class PktDropCause : std::int8_t {
+  /// The packet was on the wire when its channel died at the fault instant.
+  kInFlight = 0,
+  /// No usable next hop: a stale table forwarded onto a dead channel, a
+  /// static path crossed one, or no adaptive escape candidate was alive.
+  kBlackhole = 1,
+  /// Table-routed hop budget exceeded (transient loop between epochs).
+  kTtl = 2,
+  /// A stale-attempt or abandoned-message segment reached the terminal
+  /// after the end host had already retransmitted or given up.
+  kSuperseded = 3,
+};
+
+inline constexpr std::int32_t kNumPktDropCauses = 4;
+
+[[nodiscard]] std::string_view to_string(PktDropCause cause) noexcept;
 
 struct ChannelVlCounters {
   std::int64_t packets = 0;
@@ -109,6 +129,25 @@ class PktTrace {
     counters_[index(ch, vl)].final_credits = credits;
   }
 
+  // --- online-fault hooks (sim/online.hpp); scalar, not per-channel ------
+
+  void on_drop(PktDropCause cause) {
+    ++drops_[static_cast<std::size_t>(cause)];
+  }
+  void on_retry() { ++retries_; }
+  void on_abandon() { ++abandoned_; }
+
+  [[nodiscard]] std::int64_t drops(PktDropCause cause) const noexcept {
+    return drops_[static_cast<std::size_t>(cause)];
+  }
+  [[nodiscard]] std::int64_t total_drops() const noexcept {
+    std::int64_t sum = 0;
+    for (const std::int64_t d : drops_) sum += d;
+    return sum;
+  }
+  [[nodiscard]] std::int64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::int64_t abandoned() const noexcept { return abandoned_; }
+
   /// Closes every open stall window and depth integral at `end_time`.
   void finalize(double end_time);
 
@@ -130,6 +169,9 @@ class PktTrace {
 
   std::int32_t num_channels_ = 0;
   std::int32_t num_vls_ = 0;
+  std::array<std::int64_t, kNumPktDropCauses> drops_{};
+  std::int64_t retries_ = 0;
+  std::int64_t abandoned_ = 0;
   std::vector<ChannelVlCounters> counters_;
   // Transient accounting state, parallel to counters_.
   std::vector<double> blocked_since_;  // -1: no open stall window

@@ -45,6 +45,16 @@ struct DegradationSample {
   // Deadlock audit of the shipped tables.
   bool cdg_acyclic = true;
   std::int32_t vls_used = 1;
+  /// LFT entries forwarding onto a disabled channel (route_census); must be
+  /// zero after every reroute stage -- a non-zero value is a shipped
+  /// blackhole.
+  std::int64_t blackhole_columns = 0;
+  // Online (mid-run) fault variant: filled by the online_resilience
+  // campaign, zero for the static between-runs campaign.
+  std::int64_t packets_lost_in_flight = 0;
+  std::int64_t packets_blackholed = 0;
+  std::int64_t retries = 0;
+  std::int64_t messages_abandoned = 0;
   /// True when the engine failed outright at this stage (threw); all
   /// metrics above are zeroed.
   bool engine_failed = false;
@@ -68,7 +78,8 @@ class DegradationSeries {
   /// Exports one table "resilience_<fabric>_<engine>" per group (columns:
   /// stage, cables_failed, switches_failed, reachability, lost_pairs,
   /// mean_switch_hops, hop_inflation, throughput, retention, cdg_acyclic,
-  /// vls_used) plus "<table>_final_retention" scalars.
+  /// vls_used, blackhole_columns, lost_in_flight, blackholed, retries,
+  /// abandoned) plus "<table>_final_retention" scalars.
   void publish(MetricRegistry& registry) const;
 
  private:

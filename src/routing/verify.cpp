@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
@@ -117,6 +118,17 @@ PathCensus route_census(const topo::Topology& topo, const LidSpace& lids,
     total.total_switch_hops += c.total_switch_hops;
     total.max_switch_hops = std::max(total.max_switch_hops, c.max_switch_hops);
   }
+
+  // Blackhole columns: serial full-LFT scan (cheap next() lookups, no path
+  // walks), deliberately independent of the terminal mask -- a stale entry
+  // is a hazard even when its destination is excluded from the census.
+  const std::vector<Lid> all = lids.all_lids();
+  for (topo::SwitchId sw = 0; sw < topo.num_switches(); ++sw)
+    for (const Lid dlid : all) {
+      const topo::ChannelId ch = tables.next(sw, dlid);
+      if (ch != topo::kInvalidChannel && !topo.channel(ch).enabled)
+        ++total.blackhole_entries;
+    }
   return total;
 }
 
@@ -142,6 +154,11 @@ RerouteOutcome reroute_and_verify(RoutingEngine& engine,
   RouteAudit audit = audit_route(topo, lids, out.route, threads);
   out.cdg = std::move(audit.cdg);
   out.census = audit.census;
+  if (out.census.blackhole_entries != 0)
+    throw std::runtime_error(
+        "reroute_and_verify: engine shipped " +
+        std::to_string(out.census.blackhole_entries) +
+        " LFT entries forwarding onto disabled channels (blackhole columns)");
   return out;
 }
 

@@ -55,6 +55,12 @@ struct PathCensus {
   /// LID path.
   std::int64_t total_switch_hops = 0;
   std::int32_t max_switch_hops = 0;
+  /// Blackhole columns: LFT entries that forward onto a *disabled* channel.
+  /// A freshly computed or correctly patched table has zero -- any entry
+  /// pointing at a dead channel silently eats table-routed traffic (the
+  /// stale-table hazard the online fault layer simulates).  Counted over
+  /// the full LFT, independent of the terminal mask.
+  std::int64_t blackhole_entries = 0;
 
   [[nodiscard]] double reachability() const {
     return pairs > 0 ? static_cast<double>(routable_pairs) /
@@ -107,7 +113,9 @@ struct RerouteOutcome {
 };
 
 /// The degraded-fabric reroute entry point: recomputes the engine on the
-/// current (possibly faulted) topology, then audits the result.
+/// current (possibly faulted) topology, then audits the result.  Throws if
+/// the shipped tables contain blackhole columns (census.blackhole_entries
+/// != 0): a freshly computed table must never forward onto a dead channel.
 [[nodiscard]] RerouteOutcome reroute_and_verify(RoutingEngine& engine,
                                                 const topo::Topology& topo,
                                                 const LidSpace& lids,

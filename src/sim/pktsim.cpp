@@ -1,5 +1,6 @@
 #include "sim/pktsim.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <deque>
@@ -13,26 +14,34 @@ namespace hxsim::sim {
 
 namespace detail {
 
-/// Typed POD event record.  `a` is the message index for kInject and the
-/// channel for kXmitDone/kArrive; `b` is the packet-pool index for kArrive.
-/// kind and a share one word (kind in the low 2 bits) so a full heap entry
+/// Typed POD event record.  `a` is the message index for
+/// kInject/kTimeout/kRetry, the channel for kXmitDone/kArrive, and the
+/// fault-feed index for kFault; `b` is the packet-pool index for kArrive.
+/// kind and a share one word (kind in the low 3 bits) so a full heap entry
 /// {when, seq, Ev} packs into 24 bytes -- the heap shuffles entries on
 /// every sift, so entry size is directly memory traffic.
-enum class EvKind : std::int8_t { kInject, kXmitDone, kArrive };
+enum class EvKind : std::int8_t {
+  kInject,
+  kXmitDone,
+  kArrive,
+  kFault,    // online: a fault feed entry fires
+  kTimeout,  // online: a message attempt's end-host timer expires
+  kRetry,    // online: backoff elapsed, retransmit the remainder
+};
 struct Ev {
-  std::uint32_t kind_a;  // a << 2 | kind
+  std::uint32_t kind_a;  // a << 3 | kind
   std::int32_t b;
 
   static Ev make(EvKind kind, std::int32_t a, std::int32_t b) noexcept {
-    return Ev{(static_cast<std::uint32_t>(a) << 2) |
+    return Ev{(static_cast<std::uint32_t>(a) << 3) |
                   static_cast<std::uint32_t>(kind),
               b};
   }
   [[nodiscard]] EvKind kind() const noexcept {
-    return static_cast<EvKind>(kind_a & 3u);
+    return static_cast<EvKind>(kind_a & 7u);
   }
   [[nodiscard]] std::int32_t a() const noexcept {
-    return static_cast<std::int32_t>(kind_a >> 2);
+    return static_cast<std::int32_t>(kind_a >> 3);
   }
 };
 
@@ -41,12 +50,14 @@ struct Ev {
 struct PktNode {
   std::int32_t msg;
   std::int32_t size;  // bytes in this segment
-  std::int32_t hop;   // index into the message path (static routing)
+  std::int32_t hop;   // path index (static) / switch visits (table: TTL)
   std::int32_t next;
+  std::int32_t attempt;  // transmission attempt the segment belongs to
   topo::ChannelId held;  // channel whose downstream buffer the packet holds
   std::int8_t held_vl;
   std::int8_t vl;
   bool adaptive;
+  bool table;  // forwarded hop-by-hop through the online epochs' LFTs
   AdaptiveState astate;
 };
 
@@ -84,6 +95,14 @@ struct PktScratch {
 
   std::vector<std::int64_t> remaining;  // per message: undelivered segments
   std::vector<RouteCandidate> candidates;  // adaptive scratch
+
+  // Online-fault state (sized per run; capacity reused like everything
+  // else, so the inert-config warm path stays allocation-free).
+  std::vector<std::uint8_t> chan_down;     // per channel: died mid-run
+  std::vector<std::int32_t> cur_epoch;     // per switch (table mode)
+  std::vector<routing::Lid> dlid;          // per message (table mode)
+  std::vector<std::int32_t> attempt;       // per message (retry)
+  std::vector<std::int32_t> retries_left;  // per message (retry)
 };
 
 }  // namespace detail
@@ -112,6 +131,29 @@ std::uint64_t candidate_rng_seed(const PktSimConfig& config,
   const std::uint64_t base =
       config.adaptive != nullptr ? config.adaptive->rng_seed() : 0;
   return base ^ (0x9e3779b97f4a7c15ULL * replication);
+}
+
+/// Seed for the engine-owned retry-jitter rng, derived exactly like the
+/// adaptive-candidate seed: replication 0 uses the configured base seed
+/// unchanged and every other replication an independent golden-ratio-offset
+/// stream, so retransmission timelines are bit-identical across run_batch
+/// thread counts and across engines.
+std::uint64_t retry_rng_seed(const PktSimConfig& config,
+                             std::uint64_t replication) {
+  const std::uint64_t base =
+      config.online != nullptr ? config.online->retry.seed : 0;
+  return base ^ (0x9e3779b97f4a7c15ULL * replication);
+}
+
+/// Exponential backoff with seeded jitter before retry attempt `attempt`
+/// (1-based): base * 2^(attempt-1) * (1 + jitter * u).  `u` is drawn by
+/// the caller in event order so both engines consume the stream
+/// identically.
+double backoff_delay(const PktRetryConfig& retry, std::int32_t attempt,
+                     double u) {
+  const double scale = static_cast<double>(
+      1ULL << static_cast<std::uint32_t>(std::min(attempt - 1, 62)));
+  return retry.backoff_base * scale * (1.0 + retry.jitter * u);
 }
 
 /// Static paths are walked blindly by arrive() (`++p.hop`), so anything
@@ -147,9 +189,11 @@ void validate_path(const topo::Topology& topo, std::size_t m,
 struct RefPacket {
   std::int32_t msg = -1;
   std::int32_t size = 0;  // bytes in this segment
-  std::int32_t hop = 0;   // index into the message path (static routing)
+  std::int32_t hop = 0;   // path index (static) / switch visits (table: TTL)
+  std::int32_t attempt = 0;  // transmission attempt the segment belongs to
   std::int8_t vl = 0;
   bool adaptive = false;
+  bool table = false;  // forwarded hop-by-hop through the online epochs
   /// Channel whose downstream buffer the packet currently occupies (credit
   /// held), and the VL it was crossed on.
   topo::ChannelId held = topo::kInvalidChannel;
@@ -159,6 +203,7 @@ struct RefPacket {
 
 struct RefChannelState {
   bool busy = false;
+  bool down = false;  // online fault: died mid-run
   std::int8_t busy_vl = 0;                      // VL of the in-flight packet
   std::int32_t rr_next = 0;                     // VL arbitration pointer
   std::vector<std::deque<std::int32_t>> queue;  // per VL: waiting packets
@@ -180,7 +225,13 @@ class ReferenceEngine {
                   obs::PktTrace* trace, std::span<const PktMessage> messages,
                   std::uint64_t replication = 0)
       : topo_(topo), config_(config), messages_(messages), trace_(trace),
-        rng_(candidate_rng_seed(config, replication)) {
+        rng_(candidate_rng_seed(config, replication)),
+        retry_rng_(retry_rng_seed(config, replication)) {
+    online_ = config.online;
+    table_mode_ = online_ != nullptr && !online_->epochs.empty();
+    retry_on_ = online_ != nullptr && online_->retry.enabled;
+    track_status_ = online_ != nullptr && online_->active();
+
     channels_.resize(static_cast<std::size_t>(topo.num_channels()));
     for (topo::ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
       RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
@@ -196,6 +247,24 @@ class ReferenceEngine {
     result_.completion.assign(messages.size(),
                               std::numeric_limits<double>::quiet_NaN());
     remaining_packets_.assign(messages.size(), 0);
+    if (track_status_)
+      result_.message_status.assign(messages.size(),
+                                    PktMessageStatus::kUndelivered);
+    if (table_mode_) {
+      cur_epoch_.assign(static_cast<std::size_t>(topo.num_switches()), 0);
+      dlid_.assign(messages.size(), routing::kInvalidLid);
+    }
+    if (retry_on_) {
+      attempt_.assign(messages.size(), 0);
+      retries_left_.assign(messages.size(), online_->retry.max_retries);
+    }
+
+    // Fault events are scheduled before any inject so they carry lower
+    // sequence numbers: at an equal timestamp the channel dies first, then
+    // traffic routes around it -- identically in both engines.
+    if (online_ != nullptr)
+      for (std::size_t f = 0; f < online_->faults.size(); ++f)
+        events_.schedule(online_->faults[f].time, [this, f] { fault(f); });
 
     for (std::size_t m = 0; m < messages.size(); ++m) {
       const PktMessage& msg = messages[m];
@@ -204,15 +273,22 @@ class ReferenceEngine {
       if (msg.src < 0 || msg.src >= topo.num_terminals() || msg.dst < 0 ||
           msg.dst >= topo.num_terminals())
         fail(m, "src/dst is not a terminal of this topology");
-      const bool adaptive = msg.path.empty() && msg.src != msg.dst;
-      if (adaptive && config_.adaptive == nullptr)
+      const bool pathless = msg.path.empty() && msg.src != msg.dst;
+      // Path-less routing: an adaptive router wins when both are
+      // configured; otherwise the online epochs' tables forward hop by
+      // hop (table mode).
+      if (pathless && config_.adaptive == nullptr && !table_mode_)
         throw std::invalid_argument(
             "PktSim: path-less message without an adaptive router");
       if (msg.path.empty() && msg.src == msg.dst) {
         result_.completion[m] = msg.inject_time;  // self-send
+        if (track_status_)
+          result_.message_status[m] = PktMessageStatus::kDelivered;
         continue;
       }
       if (!msg.path.empty()) validate_path(topo_, m, msg);
+      if (pathless && config_.adaptive == nullptr)
+        dlid_[m] = online_->lids->base_lid(msg.dst);
       const std::int64_t segments =
           std::max<std::int64_t>(1, (msg.bytes + config.link.mtu - 1) /
                                         config.link.mtu);
@@ -228,10 +304,11 @@ class ReferenceEngine {
     result_.end_time = events_.now();
     // Pending events mean the run was truncated by max_events -- progress
     // was still possible, so it is NOT a deadlock; a drained queue with
-    // undelivered packets is one.
+    // packets neither delivered nor dropped is one.
     result_.truncated = !events_.empty();
     result_.deadlock =
-        events_.empty() && result_.packets_delivered < result_.packets_total;
+        events_.empty() && result_.packets_delivered + result_.packets_dropped <
+                               result_.packets_total;
     if (result_.deadlock) result_.deadlock_report = post_mortem();
     if (trace_ != nullptr) {
       trace_->finalize(result_.end_time);
@@ -278,26 +355,183 @@ class ReferenceEngine {
     return obs::build_deadlock_report(std::move(blocked), config_.num_vls);
   }
 
-  void inject(std::size_t m) {
+  void inject(std::size_t m) { inject_segments(m, remaining_packets_[m]); }
+
+  /// Injects the last `count` segments of message `m`'s segmentation --
+  /// all of them on first injection, the unacknowledged remainder on a
+  /// retransmission.  Sizes are count-1 full-MTU fills plus the message's
+  /// tail segment, reproducing the historical forward walk bit-for-bit.
+  void inject_segments(std::size_t m, std::int64_t count) {
     const PktMessage& msg = messages_[m];
-    const bool adaptive = msg.path.empty();
+    const bool pathless = msg.path.empty();
+    const bool adaptive = pathless && config_.adaptive != nullptr;
+    const bool table = pathless && !adaptive;
     const topo::ChannelId first =
-        adaptive ? topo_.terminal_up(msg.src) : msg.path[0];
-    std::int64_t left = std::max<std::int64_t>(msg.bytes, 1);
-    while (left > 0) {
-      const auto seg = static_cast<std::int32_t>(
-          std::min<std::int64_t>(left, config_.link.mtu));
-      left -= seg;
+        pathless ? topo_.terminal_up(msg.src) : msg.path[0];
+    const std::int64_t mtu = config_.link.mtu;
+    const std::int64_t total =
+        std::max<std::int64_t>(1, (msg.bytes + mtu - 1) / mtu);
+    const auto tail = static_cast<std::int32_t>(
+        std::max<std::int64_t>(1, msg.bytes - (total - 1) * mtu));
+    const std::int8_t vl = table ? table_vl(m) : (adaptive ? 0 : msg.vl);
+    for (std::int64_t i = 0; i < count; ++i) {
+      const std::int32_t seg =
+          i + 1 == count ? tail : static_cast<std::int32_t>(mtu);
       const auto pkt = static_cast<std::int32_t>(packets_.size());
       RefPacket p;
       p.msg = static_cast<std::int32_t>(m);
       p.size = seg;
-      p.vl = adaptive ? 0 : msg.vl;
+      p.attempt = retry_on_ ? attempt_[m] : 0;
+      p.vl = vl;
       p.adaptive = adaptive;
+      p.table = table;
       packets_.push_back(p);
-      enqueue(first, pkt);
+      if (channels_[static_cast<std::size_t>(first)].down) {
+        // The NIC's uplink (or the path's first channel) is already dead.
+        drop(pkt, obs::PktDropCause::kBlackhole);
+      } else {
+        enqueue(first, pkt);
+      }
     }
     try_start(first);
+    if (retry_on_)
+      events_.schedule_in(online_->retry.timeout, [this, m] { timeout(m); });
+  }
+
+  /// Injection VL of a table-routed message: the active epoch's VL
+  /// assignment at the source switch, clamped to the configured lanes.
+  std::int8_t table_vl(std::size_t m) {
+    const PktMessage& msg = messages_[m];
+    const topo::SwitchId sw = topo_.attach_switch(msg.src);
+    const PktRoutingEpoch& ep =
+        online_->epochs[static_cast<std::size_t>(epoch_at(sw))];
+    if (ep.vls == nullptr) return msg.vl;
+    const std::int8_t vl = ep.vls->vl(sw, dlid_[m]);
+    return (vl >= 0 && vl < config_.num_vls) ? vl : msg.vl;
+  }
+
+  /// Lazily advances switch `sw` to the highest epoch whose per-switch
+  /// install time has passed (monotone: tables never roll back).
+  std::int32_t epoch_at(topo::SwitchId sw) {
+    std::int32_t e = cur_epoch_[static_cast<std::size_t>(sw)];
+    const auto n = static_cast<std::int32_t>(online_->epochs.size());
+    const double now = events_.now();
+    while (e + 1 < n) {
+      const std::vector<double>& inst =
+          online_->epochs[static_cast<std::size_t>(e + 1)].install_time;
+      const double t = inst.empty() ? 0.0 : inst[static_cast<std::size_t>(sw)];
+      if (!(t <= now)) break;  // NaN-safe: unreachable installs never pass
+      ++e;
+    }
+    cur_epoch_[static_cast<std::size_t>(sw)] = e;
+    return e;
+  }
+
+  /// Next hop of a table-routed packet at `sw` by the switch's active
+  /// epoch; kInvalidChannel when the LFT has no (usable) entry.
+  topo::ChannelId table_next(topo::SwitchId sw, std::int32_t m) {
+    const PktRoutingEpoch& ep =
+        online_->epochs[static_cast<std::size_t>(epoch_at(sw))];
+    const topo::ChannelId ch =
+        ep.tables->next(sw, dlid_[static_cast<std::size_t>(m)]);
+    return (ch >= 0 && ch < topo_.num_channels()) ? ch
+                                                  : topo::kInvalidChannel;
+  }
+
+  /// The fault instant: the channels stop accepting and transmitting.
+  /// Packets queued on them are re-arbitrated through the live fabric
+  /// (channel feed order, VLs ascending, FIFO within a VL); packets on
+  /// the wire are dropped when their arrival fires (kInFlight).
+  void fault(std::size_t f) {
+    for (const topo::ChannelId ch : online_->faults[f].channels) {
+      RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
+      if (st.down) continue;  // overlapping faults: already dead
+      st.down = true;
+      for (std::int8_t vl = 0; vl < config_.num_vls; ++vl) {
+        auto& q = st.queue[static_cast<std::size_t>(vl)];
+        while (!q.empty()) {
+          const std::int32_t pkt = q.front();
+          q.pop_front();
+          if (trace_ != nullptr) {
+            trace_->on_queue_depth(ch, vl,
+                                   static_cast<std::int32_t>(q.size()),
+                                   events_.now());
+            sync_stall(ch, vl);
+          }
+          redirect(ch, pkt);
+        }
+      }
+    }
+  }
+
+  /// A packet queued on `dead` lost its output: route it again from the
+  /// switch upstream of the dead channel, or drop it as blackholed
+  /// (static paths cannot be re-planned; neither can terminal uplinks).
+  void redirect(topo::ChannelId dead, std::int32_t pkt) {
+    RefPacket& p = packets_[static_cast<std::size_t>(pkt)];
+    const topo::Channel& c = topo_.channel(dead);
+    topo::ChannelId next = topo::kInvalidChannel;
+    if (c.src.is_switch()) {
+      const topo::SwitchId sw = c.src.index;
+      if (p.adaptive) {
+        next = choose_adaptive(sw, p);
+      } else if (p.table) {
+        next = table_next(sw, p.msg);
+      }
+    }
+    if (next == topo::kInvalidChannel ||
+        channels_[static_cast<std::size_t>(next)].down) {
+      drop(pkt, obs::PktDropCause::kBlackhole);
+      return;
+    }
+    enqueue(next, pkt);
+    try_start(next);
+  }
+
+  /// Drops a segment with cause accounting and vacates the upstream input
+  /// buffer it still holds, waking that channel's arbiter.
+  void drop(std::int32_t pkt, obs::PktDropCause cause) {
+    RefPacket& p = packets_[static_cast<std::size_t>(pkt)];
+    ++result_.packets_dropped;
+    ++result_.dropped_by_cause[static_cast<std::size_t>(cause)];
+    if (trace_ != nullptr) trace_->on_drop(cause);
+    if (p.held != topo::kInvalidChannel) {
+      RefChannelState& hst = channels_[static_cast<std::size_t>(p.held)];
+      if (hst.downstream_is_switch) {
+        ++hst.credits[static_cast<std::size_t>(p.held_vl)];
+        sync_stall(p.held, p.held_vl);
+        try_start(p.held);
+      }
+    }
+    p.held = topo::kInvalidChannel;
+  }
+
+  /// End-host timer of one transmission attempt.  Stale (the message
+  /// completed) => no-op; retries exhausted => the flow gives up; else
+  /// bump the attempt (superseding every outstanding segment) and
+  /// schedule the retransmission after backoff.
+  void timeout(std::size_t m) {
+    if (remaining_packets_[m] == 0) return;
+    if (result_.message_status[m] == PktMessageStatus::kAbandoned) return;
+    if (retries_left_[m] == 0) {
+      result_.message_status[m] = PktMessageStatus::kAbandoned;
+      ++result_.messages_abandoned;
+      if (trace_ != nullptr) trace_->on_abandon();
+      return;
+    }
+    --retries_left_[m];
+    const std::int32_t attempt = ++attempt_[m];
+    ++result_.retries;
+    if (trace_ != nullptr) trace_->on_retry();
+    const double delay =
+        backoff_delay(online_->retry, attempt, retry_rng_.uniform());
+    events_.schedule_in(delay, [this, m] { retry(m); });
+  }
+
+  void retry(std::size_t m) {
+    if (remaining_packets_[m] == 0) return;  // defensive; mirrored
+    result_.packets_total += remaining_packets_[m];
+    inject_segments(m, remaining_packets_[m]);
   }
 
   void enqueue(topo::ChannelId ch, std::int32_t pkt) {
@@ -317,6 +551,7 @@ class ReferenceEngine {
   void try_start(topo::ChannelId ch) {
     RefChannelState& st = channels_[static_cast<std::size_t>(ch)];
     if (st.busy) return;
+    if (st.down) return;  // online fault: the channel transmits nothing
     const std::int32_t vls = config_.num_vls;
     for (std::int32_t i = 0; i < vls; ++i) {
       const std::int32_t vl = (st.rr_next + i) % vls;
@@ -377,7 +612,8 @@ class ReferenceEngine {
   /// Picks the adaptive candidate with the lowest congestion score:
   /// output occupancy on the packet's next VL, plus the deroute penalty
   /// for non-minimal hops, plus a large penalty when no credit is
-  /// immediately available.
+  /// immediately available.  Candidates on channels that died mid-run are
+  /// skipped (the adaptive escape); kInvalidChannel when none is alive.
   topo::ChannelId choose_adaptive(topo::SwitchId sw, RefPacket& p) {
     const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
     scratch_candidates_.clear();
@@ -393,6 +629,7 @@ class ReferenceEngine {
     for (const RouteCandidate& cand : scratch_candidates_) {
       const RefChannelState& st =
           channels_[static_cast<std::size_t>(cand.channel)];
+      if (st.down) continue;
       std::int64_t score = st.occupancy(vl);
       if (!cand.minimal) score += config_.deroute_penalty;
       if (st.downstream_is_switch &&
@@ -404,6 +641,7 @@ class ReferenceEngine {
         best = &cand;
       }
     }
+    if (best == nullptr) return topo::kInvalidChannel;  // every escape dead
     p.vl = vl;
     config_.adaptive->on_hop(*best, p.astate);
     return best->channel;
@@ -414,11 +652,29 @@ class ReferenceEngine {
     const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
     const topo::Channel& c = topo_.channel(ch);
 
+    if (channels_[static_cast<std::size_t>(ch)].down) {
+      // The channel died while the packet was on the wire.
+      drop(pkt, obs::PktDropCause::kInFlight);
+      return;
+    }
+
     if (c.dst.is_terminal()) {
+      if (retry_on_ &&
+          (p.attempt != attempt_[static_cast<std::size_t>(p.msg)] ||
+           result_.message_status[static_cast<std::size_t>(p.msg)] ==
+               PktMessageStatus::kAbandoned)) {
+        // The end host already retransmitted or gave up on this flow.
+        drop(pkt, obs::PktDropCause::kSuperseded);
+        return;
+      }
       ++result_.packets_delivered;
       auto& left = remaining_packets_[static_cast<std::size_t>(p.msg)];
-      if (--left == 0)
+      if (--left == 0) {
         result_.completion[static_cast<std::size_t>(p.msg)] = events_.now();
+        if (track_status_)
+          result_.message_status[static_cast<std::size_t>(p.msg)] =
+              PktMessageStatus::kDelivered;
+      }
       return;
     }
 
@@ -429,10 +685,31 @@ class ReferenceEngine {
         next = topo_.terminal_down(msg.dst);
       } else {
         next = choose_adaptive(sw, p);
+        if (next == topo::kInvalidChannel) {
+          drop(pkt, obs::PktDropCause::kBlackhole);
+          return;
+        }
+      }
+    } else if (p.table) {
+      ++p.hop;
+      if (p.hop > online_->ttl_hops) {
+        // Transient routing loop between epochs: hop budget exhausted.
+        drop(pkt, obs::PktDropCause::kTtl);
+        return;
+      }
+      next = table_next(sw, p.msg);
+      if (next == topo::kInvalidChannel) {
+        drop(pkt, obs::PktDropCause::kBlackhole);
+        return;
       }
     } else {
       ++p.hop;
       next = msg.path[static_cast<std::size_t>(p.hop)];
+    }
+    if (channels_[static_cast<std::size_t>(next)].down) {
+      // Stale table, static path, or chosen hop onto a dead channel.
+      drop(pkt, obs::PktDropCause::kBlackhole);
+      return;
     }
     enqueue(next, pkt);
     try_start(next);
@@ -448,6 +725,17 @@ class ReferenceEngine {
   std::vector<RouteCandidate> scratch_candidates_;
   obs::PktTrace* trace_ = nullptr;  // nullptr: tracing off (the default)
   stats::Rng rng_;  // per-run adaptive-candidate stream
+  stats::Rng retry_rng_;  // per-run retry-jitter stream (event order)
+  // Online-fault state (see sim/online.hpp); all inert when online_ is
+  // null or inactive.
+  const PktOnlineConfig* online_ = nullptr;
+  bool table_mode_ = false;
+  bool retry_on_ = false;
+  bool track_status_ = false;
+  std::vector<std::int32_t> cur_epoch_;     // per switch (table mode)
+  std::vector<routing::Lid> dlid_;          // per message (table mode)
+  std::vector<std::int32_t> attempt_;       // per message (retry)
+  std::vector<std::int32_t> retries_left_;  // per message (retry)
   PktSim::Result result_;
 };
 
@@ -468,13 +756,20 @@ class TypedEngine {
               PktScratch& s, std::uint64_t replication = 0)
       : topo_(topo), config_(config), messages_(messages), s_(s),
         trace_(trace), num_vls_(config.num_vls),
-        rng_(candidate_rng_seed(config, replication)) {
+        rng_(candidate_rng_seed(config, replication)),
+        retry_rng_(retry_rng_seed(config, replication)) {
+    online_ = config.online;
+    table_mode_ = online_ != nullptr && !online_->epochs.empty();
+    retry_on_ = online_ != nullptr && online_->retry.enabled;
+    track_status_ = online_ != nullptr && online_->active();
+
     const auto nch = static_cast<std::size_t>(topo.num_channels());
     const std::size_t nchvl = nch * static_cast<std::size_t>(num_vls_);
     s_.events.reset();
     s_.busy.assign(nch, 0);
     s_.busy_vl.assign(nch, 0);
     s_.rr_next.assign(nch, 0);
+    s_.chan_down.assign(nch, 0);
     s_.down_switch.resize(nch);
     s_.credits.resize(nchvl);
     for (topo::ChannelId ch = 0; ch < topo.num_channels(); ++ch) {
@@ -494,6 +789,26 @@ class TypedEngine {
     result_.completion.assign(messages.size(),
                               std::numeric_limits<double>::quiet_NaN());
     s_.remaining.assign(messages.size(), 0);
+    if (track_status_)
+      result_.message_status.assign(messages.size(),
+                                    PktMessageStatus::kUndelivered);
+    if (table_mode_) {
+      s_.cur_epoch.assign(static_cast<std::size_t>(topo.num_switches()), 0);
+      s_.dlid.assign(messages.size(), routing::kInvalidLid);
+    }
+    if (retry_on_) {
+      s_.attempt.assign(messages.size(), 0);
+      s_.retries_left.assign(messages.size(), online_->retry.max_retries);
+    }
+
+    // Fault events are scheduled before any inject so they carry lower
+    // sequence numbers: at an equal timestamp the channel dies first, then
+    // traffic routes around it -- identically in both engines.
+    if (online_ != nullptr)
+      for (std::size_t f = 0; f < online_->faults.size(); ++f)
+        s_.events.schedule(
+            online_->faults[f].time,
+            Ev::make(EvKind::kFault, static_cast<std::int32_t>(f), -1));
 
     std::int64_t total_segments = 0;
     for (std::size_t m = 0; m < messages.size(); ++m) {
@@ -503,15 +818,22 @@ class TypedEngine {
       if (msg.src < 0 || msg.src >= topo.num_terminals() || msg.dst < 0 ||
           msg.dst >= topo.num_terminals())
         fail(m, "src/dst is not a terminal of this topology");
-      const bool adaptive = msg.path.empty() && msg.src != msg.dst;
-      if (adaptive && config_.adaptive == nullptr)
+      const bool pathless = msg.path.empty() && msg.src != msg.dst;
+      // Path-less routing: an adaptive router wins when both are
+      // configured; otherwise the online epochs' tables forward hop by
+      // hop (table mode).
+      if (pathless && config_.adaptive == nullptr && !table_mode_)
         throw std::invalid_argument(
             "PktSim: path-less message without an adaptive router");
       if (msg.path.empty() && msg.src == msg.dst) {
         result_.completion[m] = msg.inject_time;  // self-send
+        if (track_status_)
+          result_.message_status[m] = PktMessageStatus::kDelivered;
         continue;
       }
       if (!msg.path.empty()) validate_path(topo_, m, msg);
+      if (pathless && config_.adaptive == nullptr)
+        s_.dlid[m] = online_->lids->base_lid(msg.dst);
       const std::int64_t segments =
           std::max<std::int64_t>(1, (msg.bytes + config.link.mtu - 1) /
                                         config.link.mtu);
@@ -522,8 +844,9 @@ class TypedEngine {
           msg.inject_time,
           Ev::make(EvKind::kInject, static_cast<std::int32_t>(m), -1));
     }
-    // Segments are countable up front, so the pool is sized exactly once;
-    // nodes are fully initialised at inject time.
+    // Segments are countable up front, so the pool is sized exactly once
+    // for the first transmission attempts; nodes are fully initialised at
+    // inject time.  Retransmissions (and only they) grow it later.
     s_.pool.resize(static_cast<std::size_t>(total_segments));
     pool_used_ = 0;
     // Reserve-ahead for the event heap: pending events are bounded by the
@@ -550,6 +873,15 @@ class TypedEngine {
         case EvKind::kArrive:
           arrive(a, ev.b);
           break;
+        case EvKind::kFault:
+          fault(static_cast<std::size_t>(a));
+          break;
+        case EvKind::kTimeout:
+          timeout(static_cast<std::size_t>(a));
+          break;
+        case EvKind::kRetry:
+          retry(static_cast<std::size_t>(a));
+          break;
       }
       ++executed;
     }
@@ -557,7 +889,8 @@ class TypedEngine {
     result_.end_time = s_.events.now();
     result_.truncated = !s_.events.empty();
     result_.deadlock =
-        s_.events.empty() && result_.packets_delivered < result_.packets_total;
+        s_.events.empty() && result_.packets_delivered + result_.packets_dropped <
+                                 result_.packets_total;
     if (result_.deadlock) result_.deadlock_report = post_mortem();
     if (trace_ != nullptr) {
       trace_->finalize(result_.end_time);
@@ -600,30 +933,198 @@ class TypedEngine {
     return obs::build_deadlock_report(std::move(blocked), config_.num_vls);
   }
 
-  void inject(std::size_t m) {
+  void inject(std::size_t m) { inject_segments(m, s_.remaining[m]); }
+
+  /// Injects the last `count` segments of message `m`'s segmentation --
+  /// all of them on first injection, the unacknowledged remainder on a
+  /// retransmission.  Sizes are count-1 full-MTU fills plus the message's
+  /// tail segment, reproducing the historical forward walk bit-for-bit.
+  void inject_segments(std::size_t m, std::int64_t count) {
     const PktMessage& msg = messages_[m];
-    const bool adaptive = msg.path.empty();
+    const bool pathless = msg.path.empty();
+    const bool adaptive = pathless && config_.adaptive != nullptr;
+    const bool table = pathless && !adaptive;
     const topo::ChannelId first =
-        adaptive ? topo_.terminal_up(msg.src) : msg.path[0];
-    std::int64_t left = std::max<std::int64_t>(msg.bytes, 1);
-    while (left > 0) {
-      const auto seg = static_cast<std::int32_t>(
-          std::min<std::int64_t>(left, config_.link.mtu));
-      left -= seg;
+        pathless ? topo_.terminal_up(msg.src) : msg.path[0];
+    const std::int64_t mtu = config_.link.mtu;
+    const std::int64_t total =
+        std::max<std::int64_t>(1, (msg.bytes + mtu - 1) / mtu);
+    const auto tail = static_cast<std::int32_t>(
+        std::max<std::int64_t>(1, msg.bytes - (total - 1) * mtu));
+    const std::int8_t vl = table ? table_vl(m) : (adaptive ? 0 : msg.vl);
+    // The pool is pre-sized for every first attempt, so this grows it only
+    // on a retransmission -- the warm no-retry path stays allocation-free.
+    const std::size_t need =
+        static_cast<std::size_t>(pool_used_) + static_cast<std::size_t>(count);
+    if (need > s_.pool.size()) s_.pool.resize(need);
+    for (std::int64_t i = 0; i < count; ++i) {
+      const std::int32_t seg =
+          i + 1 == count ? tail : static_cast<std::int32_t>(mtu);
       const std::int32_t pkt = pool_used_++;
       PktNode& p = s_.pool[static_cast<std::size_t>(pkt)];
       p.msg = static_cast<std::int32_t>(m);
       p.size = seg;
       p.hop = 0;
       p.next = -1;
+      p.attempt = retry_on_ ? s_.attempt[m] : 0;
       p.held = topo::kInvalidChannel;
       p.held_vl = 0;
-      p.vl = adaptive ? 0 : msg.vl;
+      p.vl = vl;
       p.adaptive = adaptive;
+      p.table = table;
       p.astate = AdaptiveState{};
-      enqueue(first, pkt);
+      if (s_.chan_down[static_cast<std::size_t>(first)]) {
+        // The NIC's uplink (or the path's first channel) is already dead.
+        drop(pkt, obs::PktDropCause::kBlackhole);
+      } else {
+        enqueue(first, pkt);
+      }
     }
     try_start(first);
+    if (retry_on_)
+      s_.events.schedule_in(
+          online_->retry.timeout,
+          Ev::make(EvKind::kTimeout, static_cast<std::int32_t>(m), -1));
+  }
+
+  /// Injection VL of a table-routed message: the active epoch's VL
+  /// assignment at the source switch, clamped to the configured lanes.
+  std::int8_t table_vl(std::size_t m) {
+    const PktMessage& msg = messages_[m];
+    const topo::SwitchId sw = topo_.attach_switch(msg.src);
+    const PktRoutingEpoch& ep =
+        online_->epochs[static_cast<std::size_t>(epoch_at(sw))];
+    if (ep.vls == nullptr) return msg.vl;
+    const std::int8_t vl = ep.vls->vl(sw, s_.dlid[m]);
+    return (vl >= 0 && vl < config_.num_vls) ? vl : msg.vl;
+  }
+
+  /// Lazily advances switch `sw` to the highest epoch whose per-switch
+  /// install time has passed (monotone: tables never roll back).
+  std::int32_t epoch_at(topo::SwitchId sw) {
+    std::int32_t e = s_.cur_epoch[static_cast<std::size_t>(sw)];
+    const auto n = static_cast<std::int32_t>(online_->epochs.size());
+    const double now = s_.events.now();
+    while (e + 1 < n) {
+      const std::vector<double>& inst =
+          online_->epochs[static_cast<std::size_t>(e + 1)].install_time;
+      const double t = inst.empty() ? 0.0 : inst[static_cast<std::size_t>(sw)];
+      if (!(t <= now)) break;  // NaN-safe: unreachable installs never pass
+      ++e;
+    }
+    s_.cur_epoch[static_cast<std::size_t>(sw)] = e;
+    return e;
+  }
+
+  /// Next hop of a table-routed packet at `sw` by the switch's active
+  /// epoch; kInvalidChannel when the LFT has no (usable) entry.
+  topo::ChannelId table_next(topo::SwitchId sw, std::int32_t m) {
+    const PktRoutingEpoch& ep =
+        online_->epochs[static_cast<std::size_t>(epoch_at(sw))];
+    const topo::ChannelId ch =
+        ep.tables->next(sw, s_.dlid[static_cast<std::size_t>(m)]);
+    return (ch >= 0 && ch < topo_.num_channels()) ? ch
+                                                  : topo::kInvalidChannel;
+  }
+
+  /// The fault instant: the channels stop accepting and transmitting.
+  /// Packets queued on them are re-arbitrated through the live fabric
+  /// (channel feed order, VLs ascending, FIFO within a VL); packets on
+  /// the wire are dropped when their arrival fires (kInFlight).
+  void fault(std::size_t f) {
+    for (const topo::ChannelId ch : online_->faults[f].channels) {
+      if (s_.chan_down[static_cast<std::size_t>(ch)])
+        continue;  // overlapping faults: already dead
+      s_.chan_down[static_cast<std::size_t>(ch)] = 1;
+      for (std::int8_t vl = 0; vl < config_.num_vls; ++vl) {
+        VlFifo& q = s_.fifo[idx(ch, vl)];
+        while (q.head >= 0) {
+          const std::int32_t pkt = q.head;
+          q.head = s_.pool[static_cast<std::size_t>(pkt)].next;
+          if (q.head < 0) {
+            q.tail = -1;
+            s_.q_mask[static_cast<std::size_t>(ch)] &=
+                static_cast<std::uint16_t>(~(1u << vl));
+          }
+          const std::int32_t depth = --q.len;
+          if (trace_ != nullptr) {
+            trace_->on_queue_depth(ch, vl, depth, s_.events.now());
+            sync_stall(ch, vl);
+          }
+          redirect(ch, pkt);
+        }
+      }
+    }
+  }
+
+  /// A packet queued on `dead` lost its output: route it again from the
+  /// switch upstream of the dead channel, or drop it as blackholed
+  /// (static paths cannot be re-planned; neither can terminal uplinks).
+  void redirect(topo::ChannelId dead, std::int32_t pkt) {
+    PktNode& p = s_.pool[static_cast<std::size_t>(pkt)];
+    const topo::Channel& c = topo_.channel(dead);
+    topo::ChannelId next = topo::kInvalidChannel;
+    if (c.src.is_switch()) {
+      const topo::SwitchId sw = c.src.index;
+      if (p.adaptive) {
+        next = choose_adaptive(sw, p);
+      } else if (p.table) {
+        next = table_next(sw, p.msg);
+      }
+    }
+    if (next == topo::kInvalidChannel ||
+        s_.chan_down[static_cast<std::size_t>(next)]) {
+      drop(pkt, obs::PktDropCause::kBlackhole);
+      return;
+    }
+    enqueue(next, pkt);
+    try_start(next);
+  }
+
+  /// Drops a segment with cause accounting and vacates the upstream input
+  /// buffer it still holds, waking that channel's arbiter.
+  void drop(std::int32_t pkt, obs::PktDropCause cause) {
+    PktNode& p = s_.pool[static_cast<std::size_t>(pkt)];
+    ++result_.packets_dropped;
+    ++result_.dropped_by_cause[static_cast<std::size_t>(cause)];
+    if (trace_ != nullptr) trace_->on_drop(cause);
+    if (p.held != topo::kInvalidChannel) {
+      if (s_.down_switch[static_cast<std::size_t>(p.held)]) {
+        ++s_.credits[idx(p.held, p.held_vl)];
+        sync_stall(p.held, p.held_vl);
+        try_start(p.held);
+      }
+    }
+    p.held = topo::kInvalidChannel;
+  }
+
+  /// End-host timer of one transmission attempt.  Stale (the message
+  /// completed) => no-op; retries exhausted => the flow gives up; else
+  /// bump the attempt (superseding every outstanding segment) and
+  /// schedule the retransmission after backoff.
+  void timeout(std::size_t m) {
+    if (s_.remaining[m] == 0) return;
+    if (result_.message_status[m] == PktMessageStatus::kAbandoned) return;
+    if (s_.retries_left[m] == 0) {
+      result_.message_status[m] = PktMessageStatus::kAbandoned;
+      ++result_.messages_abandoned;
+      if (trace_ != nullptr) trace_->on_abandon();
+      return;
+    }
+    --s_.retries_left[m];
+    const std::int32_t attempt = ++s_.attempt[m];
+    ++result_.retries;
+    if (trace_ != nullptr) trace_->on_retry();
+    const double delay =
+        backoff_delay(online_->retry, attempt, retry_rng_.uniform());
+    s_.events.schedule_in(
+        delay, Ev::make(EvKind::kRetry, static_cast<std::int32_t>(m), -1));
+  }
+
+  void retry(std::size_t m) {
+    if (s_.remaining[m] == 0) return;  // defensive; mirrored
+    result_.packets_total += s_.remaining[m];
+    inject_segments(m, s_.remaining[m]);
   }
 
   void enqueue(topo::ChannelId ch, std::int32_t pkt) {
@@ -654,6 +1155,8 @@ class TypedEngine {
   /// to the reference scan: empty VLs have no observable effect there.
   void try_start(topo::ChannelId ch) {
     if (s_.busy[static_cast<std::size_t>(ch)]) return;
+    if (s_.chan_down[static_cast<std::size_t>(ch)])
+      return;  // online fault: the channel transmits nothing
     const std::uint32_t mask = s_.q_mask[static_cast<std::size_t>(ch)];
     if (mask == 0) return;
     const std::int32_t vls = num_vls_;
@@ -727,6 +1230,8 @@ class TypedEngine {
   /// Picks the adaptive candidate with the lowest congestion score; ties
   /// fall to the lowest channel id, independent of candidate order (the
   /// determinism contract tested across permuted candidate lists).
+  /// Candidates on channels that died mid-run are skipped (the adaptive
+  /// escape); kInvalidChannel when none is alive.
   topo::ChannelId choose_adaptive(topo::SwitchId sw, PktNode& p) {
     const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
     s_.candidates.clear();
@@ -739,6 +1244,7 @@ class TypedEngine {
     const RouteCandidate* best = nullptr;
     std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
     for (const RouteCandidate& cand : s_.candidates) {
+      if (s_.chan_down[static_cast<std::size_t>(cand.channel)]) continue;
       const std::size_t ci = idx(cand.channel, vl);
       std::int64_t score =
           s_.fifo[ci].len +
@@ -756,6 +1262,7 @@ class TypedEngine {
         best = &cand;
       }
     }
+    if (best == nullptr) return topo::kInvalidChannel;  // every escape dead
     p.vl = vl;
     config_.adaptive->on_hop(*best, p.astate);
     return best->channel;
@@ -766,12 +1273,30 @@ class TypedEngine {
     const PktMessage& msg = messages_[static_cast<std::size_t>(p.msg)];
     const topo::Channel& c = topo_.channel(ch);
 
+    if (s_.chan_down[static_cast<std::size_t>(ch)]) {
+      // The channel died while the packet was on the wire.
+      drop(pkt, obs::PktDropCause::kInFlight);
+      return;
+    }
+
     if (c.dst.is_terminal()) {
+      if (retry_on_ &&
+          (p.attempt != s_.attempt[static_cast<std::size_t>(p.msg)] ||
+           result_.message_status[static_cast<std::size_t>(p.msg)] ==
+               PktMessageStatus::kAbandoned)) {
+        // The end host already retransmitted or gave up on this flow.
+        drop(pkt, obs::PktDropCause::kSuperseded);
+        return;
+      }
       ++result_.packets_delivered;
       auto& left = s_.remaining[static_cast<std::size_t>(p.msg)];
-      if (--left == 0)
+      if (--left == 0) {
         result_.completion[static_cast<std::size_t>(p.msg)] =
             s_.events.now();
+        if (track_status_)
+          result_.message_status[static_cast<std::size_t>(p.msg)] =
+              PktMessageStatus::kDelivered;
+      }
       return;
     }
 
@@ -782,10 +1307,31 @@ class TypedEngine {
         next = topo_.terminal_down(msg.dst);
       } else {
         next = choose_adaptive(sw, p);
+        if (next == topo::kInvalidChannel) {
+          drop(pkt, obs::PktDropCause::kBlackhole);
+          return;
+        }
+      }
+    } else if (p.table) {
+      ++p.hop;
+      if (p.hop > online_->ttl_hops) {
+        // Transient routing loop between epochs: hop budget exhausted.
+        drop(pkt, obs::PktDropCause::kTtl);
+        return;
+      }
+      next = table_next(sw, p.msg);
+      if (next == topo::kInvalidChannel) {
+        drop(pkt, obs::PktDropCause::kBlackhole);
+        return;
       }
     } else {
       ++p.hop;
       next = msg.path[static_cast<std::size_t>(p.hop)];
+    }
+    if (s_.chan_down[static_cast<std::size_t>(next)]) {
+      // Stale table, static path, or chosen hop onto a dead channel.
+      drop(pkt, obs::PktDropCause::kBlackhole);
+      return;
     }
     enqueue(next, pkt);
     try_start(next);
@@ -798,7 +1344,14 @@ class TypedEngine {
   obs::PktTrace* trace_ = nullptr;
   std::int32_t num_vls_;
   stats::Rng rng_;  // per-run adaptive-candidate stream
+  stats::Rng retry_rng_;  // per-run retry-jitter stream (event order)
   std::int32_t pool_used_ = 0;
+  // Online-fault state (see sim/online.hpp); all inert when online_ is
+  // null or inactive.
+  const PktOnlineConfig* online_ = nullptr;
+  bool table_mode_ = false;
+  bool retry_on_ = false;
+  bool track_status_ = false;
   PktSim::Result result_;
 };
 
@@ -816,6 +1369,8 @@ PktSim::PktSim(const topo::Topology& topo, PktSimConfig config)
     throw std::invalid_argument(
         "PktSim: adaptive max_hops exceeds the VL budget (escalation "
         "would not be deadlock-free)");
+  if (config.online != nullptr)
+    validate_online(topo, *config.online, config.num_vls);
 }
 
 PktSim::~PktSim() = default;

@@ -46,8 +46,15 @@
 // arbitration skips, queue depths, final credits).  Tracing is off by
 // default, allocation-free per event, and strictly observational -- results
 // are bit-identical with tracing on or off.
+// Online faults: attach a sim::PktOnlineConfig (sim/online.hpp) via
+// PktSimConfig::online to inject mid-run link failures, forwarding-table
+// epochs with per-switch install delays, and end-host timeout/retry.
+// Packets lost to the transient are dropped with per-cause accounting
+// (Result::dropped_by_cause, obs::PktDropCause); a config that is absent
+// or inert leaves every run bit-identical and allocation-free.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -58,6 +65,7 @@
 #include "sim/adaptive.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link_model.hpp"
+#include "sim/online.hpp"
 #include "topo/topology.hpp"
 
 namespace hxsim::sim {
@@ -66,13 +74,26 @@ namespace detail {
 struct PktScratch;  // engine scratch (pktsim.cpp); reused across runs
 }
 
+/// Per-message outcome under the online-fault layer.
+enum class PktMessageStatus : std::int8_t {
+  /// All segments of the final attempt reached the destination.
+  kDelivered = 0,
+  /// The run ended (deadlock/truncation or drops with retry disabled)
+  /// before the message completed.
+  kUndelivered = 1,
+  /// The end host exhausted max_retries and gave up on the flow.
+  kAbandoned = 2,
+};
+
 struct PktMessage {
   topo::NodeId src = topo::kInvalidNode;
   topo::NodeId dst = topo::kInvalidNode;
   std::int64_t bytes = 0;
   /// Full channel path: terminal-up, switch..., switch-terminal.
-  /// Leave empty (with src != dst) to route adaptively per hop; requires
-  /// PktSimConfig::adaptive.
+  /// Leave empty (with src != dst) to route per hop: adaptively when
+  /// PktSimConfig::adaptive is set, else by the online config's active
+  /// forwarding epoch (PktOnlineConfig::epochs); one of the two is
+  /// required for path-less messages.
   std::vector<topo::ChannelId> path;
   /// Virtual lane for statically routed messages; adaptive packets use
   /// VL escalation (lane = switch hops taken) instead.
@@ -97,6 +118,11 @@ struct PktSimConfig {
   /// VL counters; simulation results are unaffected.  run_batch() rejects a
   /// shared trace -- pass per-replication sinks there instead.
   obs::PktTrace* trace = nullptr;
+  /// Optional online-fault layer (not owned; must outlive the simulator):
+  /// timed mid-run channel failures, forwarding epochs, end-host retry.
+  /// nullptr or an inert config (no faults/epochs, retry disabled) is the
+  /// bit-identity off switch.
+  const PktOnlineConfig* online = nullptr;
   /// Engine selection.  kTyped is the allocation-free data-oriented engine
   /// (the default); kReference is the seed std::function/deque engine,
   /// kept for golden bit-identity testing and old-vs-new benchmarking.
@@ -123,9 +149,21 @@ class PktSim {
     double end_time = 0.0;
     std::int64_t packets_delivered = 0;
     std::int64_t packets_total = 0;
-    /// Discrete events dispatched by the run (inject + xmit-done + arrive);
-    /// the denominator of the engine's events/sec throughput.
+    /// Discrete events dispatched by the run (inject + xmit-done + arrive,
+    /// plus fault/timeout/retry under an online config); the denominator
+    /// of the engine's events/sec throughput.
     std::int64_t events_executed = 0;
+    // --- online-fault accounting (all zero without an active config) ----
+    /// Segments dropped by the online layer, total and by cause (indexed
+    /// by obs::PktDropCause).
+    std::int64_t packets_dropped = 0;
+    std::array<std::int64_t, obs::kNumPktDropCauses> dropped_by_cause{};
+    /// End-host retransmission attempts performed / flows given up.
+    std::int64_t retries = 0;
+    std::int64_t messages_abandoned = 0;
+    /// Per-message outcome; sized only when an online config is attached
+    /// (empty otherwise, preserving pre-online result comparisons).
+    std::vector<PktMessageStatus> message_status;
     /// Populated when deadlock: every buffered packet and one extracted
     /// credit-wait cycle (see obs/deadlock.hpp).
     obs::DeadlockReport deadlock_report;

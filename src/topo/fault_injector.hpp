@@ -55,6 +55,12 @@ struct FaultStage {
   /// Candidates the planner rejected because applying them would have
   /// disconnected the surviving switch graph (keep_connected mode).
   std::int32_t skipped_for_connectivity = 0;
+  /// Optional simulation timestamp [s].  Negative (the default) marks an
+  /// untimed stage: damage applied *between* runs, the classic campaign
+  /// model.  A non-negative value stamps the stage for the packet engine's
+  /// online fault feed (sim/online.hpp timed_faults()): the cables die
+  /// mid-run at this instant.  Untouched by plan(); set by the caller.
+  double at_time = -1.0;
 
   /// Cables disabled by this stage (union over events).
   [[nodiscard]] std::int64_t num_cables() const;
@@ -110,6 +116,12 @@ class FaultSchedule {
   /// filtering is applied to appended stages.
   void append_stage(FaultStage stage);
 
+  /// Stamps stage `i` with a simulation timestamp for the online fault
+  /// feed (see FaultStage::at_time).
+  void set_stage_time(std::int32_t i, double at_time) {
+    stages_[static_cast<std::size_t>(i)].at_time = at_time;
+  }
+
   [[nodiscard]] std::int32_t num_stages() const noexcept {
     return static_cast<std::int32_t>(stages_.size());
   }
@@ -136,6 +148,30 @@ class FaultSchedule {
 
  private:
   std::vector<FaultStage> stages_;
+};
+
+/// RAII fabric restore: re-enables every cable of `schedule` on scope exit,
+/// whether the scope is left normally or by exception.  Campaigns that
+/// share a fabric across engines (workloads/resilience.cpp) wrap their
+/// apply/reroute/solve block in one of these so an engine throw mid-stage
+/// can no longer leave the fabric faulted for subsequent callers.
+class ScheduleRevertGuard {
+ public:
+  ScheduleRevertGuard(Topology& topo, const FaultSchedule& schedule) noexcept
+      : topo_(&topo), schedule_(&schedule) {}
+  ~ScheduleRevertGuard() {
+    if (schedule_ != nullptr) schedule_->revert(*topo_);
+  }
+  ScheduleRevertGuard(const ScheduleRevertGuard&) = delete;
+  ScheduleRevertGuard& operator=(const ScheduleRevertGuard&) = delete;
+
+  /// Releases the guard without reverting (the caller takes ownership of
+  /// the faulted state).
+  void dismiss() noexcept { schedule_ = nullptr; }
+
+ private:
+  Topology* topo_;
+  const FaultSchedule* schedule_;
 };
 
 /// Disables `count` randomly chosen enabled switch-to-switch cables.

@@ -1,0 +1,125 @@
+// Online-fault resilience campaign: fault mid-run, measure the transient.
+//
+// The offline campaign (workloads/resilience.hpp) answers "how good is the
+// fabric after the reroute"; this one answers the operator's harder
+// question: how much traffic dies *between* the fault and the repaired
+// tables reaching every switch, and how much of it end-host retry wins
+// back.  One seeded link-fault stage is planned, timed mid-run, and the
+// packet engine replays the same message set through a ladder of arms:
+//
+//   baseline        intact fabric, epoch-0 tables only
+//   static-reroute  repaired tables installed from t = 0 (the envelope an
+//                   offline reroute would achieve) plus the timed faults
+//   delay sweep     epoch 0 -> epoch 1 with a per-switch propagation delay
+//                   after the fault instant, retry off and retry on
+//   adaptive        path-less DAL/PARX escape routing through the faults
+//
+// Every arm runs on both PktSim engines and the two Results are compared
+// field-for-field: the typed/reference bitwise-identity contract extends
+// to drops, retries, epochs and statuses.  The campaign also proves the
+// off switch (an inert PktOnlineConfig leaves static-path runs
+// bit-identical to online = nullptr) and the run_batch thread-count
+// invariance of the retry jitter stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/pkt_trace.hpp"
+#include "routing/engine.hpp"
+#include "routing/lid_space.hpp"
+#include "sim/pktsim.hpp"
+#include "topo/topology.hpp"
+
+namespace hxsim::workloads {
+
+/// One arm's outcome (the typed engine's numbers; `engines_identical`
+/// certifies the reference engine produced the identical Result).
+struct OnlineResilienceRow {
+  std::string arm;
+  /// Per-switch install delay of the repaired tables after the fault [s];
+  /// 0 for arms outside the sweep.
+  double propagation_delay = 0.0;
+  bool faulted = false;
+  bool retry = false;
+  bool adaptive = false;
+  bool engines_identical = false;
+  bool deadlock = false;
+  double makespan = 0.0;  // last delivered completion (end_time if none)
+  std::int64_t messages = 0;
+  std::int64_t messages_delivered = 0;
+  std::int64_t messages_abandoned = 0;
+  std::int64_t packets_total = 0;
+  std::int64_t packets_delivered = 0;
+  std::int64_t packets_dropped = 0;
+  /// Indexed by obs::PktDropCause.
+  std::array<std::int64_t, obs::kNumPktDropCauses> dropped_by_cause{};
+  std::int64_t retries = 0;
+  /// Delivered fraction of offered bytes (a message counts only when its
+  /// final attempt fully arrived).
+  double delivered_fraction = 0.0;
+  /// delivered_fraction normalised by the baseline arm's: the campaign's
+  /// goodput-retention metric.
+  double retention = 0.0;
+  /// Extra time the transient cost: makespan minus the baseline's, >= 0.
+  double recovery_time = 0.0;
+};
+
+struct OnlineResilienceReport {
+  std::vector<OnlineResilienceRow> rows;
+  /// Blackhole columns of the freshly computed epochs (reroute_and_verify
+  /// throws unless both are zero; recorded for the bench JSON).
+  std::int64_t blackhole_columns_epoch0 = 0;
+  std::int64_t blackhole_columns_epoch1 = 0;
+  std::int32_t cables_failed = 0;
+  /// Off-switch contract: static-path runs with an *inert* attached
+  /// PktOnlineConfig are bitwise identical to online = nullptr.
+  bool nofault_identical = false;
+  /// Every arm's typed and reference Results were field-for-field equal.
+  bool all_engines_identical = false;
+  /// run_batch at 1 worker and at options.threads workers agreed bitwise
+  /// on the retry-on faulted arm.
+  bool threads_identical = false;
+  /// min over sweep delays of (retention with retry - retention without):
+  /// the claims-registry contract that retransmission never loses goodput.
+  double retry_retention_gain = 0.0;
+};
+
+struct OnlineResilienceOptions {
+  /// Cables cut by the single timed fault stage (seeded draw).
+  std::int32_t links_failed = 6;
+  std::uint64_t fault_seed = 1;
+  /// Simulation time the cables die [s]; placed mid-injection-window.
+  double fault_time = 10e-6;
+  /// Per-switch install delays swept for the repaired epoch [s].
+  std::vector<double> propagation_delays = {0.0, 5e-6, 20e-6, 50e-6};
+  std::int32_t messages = 96;
+  std::int64_t bytes = 8 * 1024;
+  /// Inject times are spread evenly over [0, inject_window).
+  double inject_window = 20e-6;
+  std::uint64_t traffic_seed = 1;
+  /// Retry model of the retry-on arms (`enabled` is set per arm).
+  sim::PktRetryConfig retry{/*enabled=*/false, /*timeout=*/50e-6,
+                            /*backoff_base=*/5e-6, /*jitter=*/0.5,
+                            /*max_retries=*/6, /*seed=*/1};
+  std::int32_t num_vls = 8;
+  std::int32_t ttl_hops = 64;
+  /// Worker count of the run_batch thread-identity check (compared
+  /// against 1 worker) and of the reroutes.
+  std::int32_t threads = 0;
+  std::size_t max_events = SIZE_MAX;
+};
+
+/// Runs the campaign on `topo` with `engine` computing both epochs (the
+/// fabric is faulted only inside a ScheduleRevertGuard scope and returned
+/// intact).  `adaptive`, when non-null, adds the adaptive-escape arm.
+/// Throws if either epoch ships blackhole columns (reroute_and_verify) or
+/// the fault stage disabled nothing.
+[[nodiscard]] OnlineResilienceReport run_online_resilience_campaign(
+    topo::Topology& topo, routing::RoutingEngine& engine,
+    const routing::LidSpace& lids, const sim::AdaptiveRouter* adaptive,
+    const OnlineResilienceOptions& options = {});
+
+}  // namespace hxsim::workloads

@@ -198,6 +198,10 @@ obs::DegradationSeries run_resilience_campaign(
       topo::FaultSchedule::plan(topo, options.schedule);
   for (const topo::FaultStage& stage : extra_stages)
     schedule.append_stage(stage);
+  // The shared fabric is restored however this function exits: a throw
+  // outside the per-engine catch below (apply_stage, the flow solver, an
+  // allocation failure) must not leak a faulted topology to later callers.
+  const topo::ScheduleRevertGuard revert_guard(topo, schedule);
 
   // Traffic pairs are a pure function of (traffic kind, seed, terminal
   // count, sample index) -- identical for every stage and engine -- so
@@ -272,6 +276,7 @@ obs::DegradationSeries run_resilience_campaign(
         sample.lost_pairs = audit.census.lost_pairs;
         sample.lost_lid_paths = audit.census.lost_lid_paths;
         sample.mean_switch_hops = audit.census.mean_switch_hops();
+        sample.blackhole_columns = audit.census.blackhole_entries;
         sample.cdg_acyclic = audit.cdg.acyclic;
         sample.vls_used = route->num_vls_used;
         sample.throughput = delivered_throughput(
@@ -309,8 +314,7 @@ obs::DegradationSeries run_resilience_campaign(
     }
   }
 
-  schedule.revert(topo);
-  return series;
+  return series;  // revert_guard restores the fabric
 }
 
 }  // namespace hxsim::workloads

@@ -231,6 +231,21 @@ TEST(OracleChecks, PktResultsEqualDetectsEveryFieldFlip) {
   r = base;
   r.events_executed += 1;
   EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  r.packets_dropped += 1;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  r.dropped_by_cause[0] += 1;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  r.retries += 1;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  r.messages_abandoned += 1;
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
+  r = base;
+  r.message_status.push_back(sim::PktMessageStatus::kDelivered);
+  EXPECT_FALSE(audit::check_pkt_results_equal(base, r).pass);
 }
 
 TEST(OracleChecks, ConservationDetectsCorruptedCounters) {
@@ -253,6 +268,87 @@ TEST(OracleChecks, ConservationDetectsCorruptedCounters) {
   r = base;
   r.completion.pop_back();
   EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+
+  // Online accounting: per-cause counters must sum to packets_dropped...
+  r = base;
+  r.dropped_by_cause[0] += 1;
+  EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+  // ...drops must balance the clean-run conservation equation...
+  r = base;
+  r.packets_dropped += 1;
+  r.dropped_by_cause[0] += 1;
+  EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+  // ...and message_status, when sized, must restate the completions.
+  r = base;
+  r.message_status.assign(msgs.size(), sim::PktMessageStatus::kDelivered);
+  EXPECT_TRUE(audit::check_pkt_conservation(msgs, r).pass);
+  r.message_status[0] = sim::PktMessageStatus::kUndelivered;
+  EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+  r.message_status.assign(msgs.size() - 1, sim::PktMessageStatus::kDelivered);
+  EXPECT_FALSE(audit::check_pkt_conservation(msgs, r).pass);
+}
+
+TEST(OracleChecks, QuiescedEquivalenceDetectsDivergence) {
+  SmallFabric f;
+  sim::PktSim sim(f.hx.topo());
+  const auto msgs = small_messages(f);
+  const auto base = sim.run(msgs);
+  ASSERT_FALSE(base.deadlock);
+
+  // The healthy shape: identical run, two extra fault events that fired
+  // after quiesce and advanced the clock there, statuses restating the
+  // completion vector.
+  const double fault_time = base.end_time + 1.0;
+  auto quiesced = base;
+  quiesced.events_executed += 2;
+  quiesced.end_time = fault_time;
+  quiesced.message_status.assign(msgs.size(),
+                                 sim::PktMessageStatus::kDelivered);
+  EXPECT_TRUE(audit::check_online_quiesced_equivalent(quiesced, base, 2,
+                                                      fault_time)
+                  .pass);
+
+  // Wrong event credit, a shifted timestamp, a drop the base never saw,
+  // and a status contradicting its completion must each be rejected.
+  EXPECT_FALSE(audit::check_online_quiesced_equivalent(quiesced, base, 1,
+                                                       fault_time)
+                   .pass);
+  auto corrupt = quiesced;
+  corrupt.end_time += 1e-9;
+  EXPECT_FALSE(audit::check_online_quiesced_equivalent(corrupt, base, 2,
+                                                       fault_time)
+                   .pass);
+  corrupt = quiesced;
+  corrupt.packets_dropped += 1;
+  corrupt.dropped_by_cause[0] += 1;
+  EXPECT_FALSE(audit::check_online_quiesced_equivalent(corrupt, base, 2,
+                                                       fault_time)
+                   .pass);
+  corrupt = quiesced;
+  corrupt.message_status[0] = sim::PktMessageStatus::kAbandoned;
+  EXPECT_FALSE(audit::check_online_quiesced_equivalent(corrupt, base, 2,
+                                                       fault_time)
+                   .pass);
+}
+
+TEST(OracleChecks, BatchEqualityDetectsReplicationDivergence) {
+  SmallFabric f;
+  sim::PktSim sim(f.hx.topo());
+  const auto msgs = small_messages(f);
+  const std::vector<std::vector<sim::PktMessage>> replications(2, msgs);
+  const auto a = sim.run_batch(replications, 1);
+  const auto b = sim.run_batch(replications, 1);
+  EXPECT_TRUE(audit::check_pkt_batches_equal(a, b).pass);
+
+  auto corrupt = b;
+  corrupt[1].end_time += 1e-9;
+  const auto check = audit::check_pkt_batches_equal(a, corrupt);
+  EXPECT_FALSE(check.pass);
+  EXPECT_NE(check.detail.find("replication 1"), std::string::npos);
+
+  corrupt = b;
+  corrupt.pop_back();
+  EXPECT_FALSE(audit::check_pkt_batches_equal(a, corrupt).pass);
 }
 
 TEST(OracleChecks, TraceConsistencyDetectsTamperedCounters) {

@@ -12,14 +12,17 @@
 // replication at {1, 4} threads.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "routing/dfsssp.hpp"
+#include "routing/forwarding.hpp"
 #include "routing/ftree.hpp"
 #include "routing/lid_space.hpp"
 #include "sim/adaptive.hpp"
+#include "sim/online.hpp"
 #include "sim/pktsim.hpp"
 #include "stats/rng.hpp"
 #include "topo/fat_tree.hpp"
@@ -47,6 +50,11 @@ void expect_identical(const PktSim::Result& a, const PktSim::Result& b) {
   EXPECT_EQ(a.packets_delivered, b.packets_delivered);
   EXPECT_EQ(a.packets_total, b.packets_total);
   EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.dropped_by_cause, b.dropped_by_cause);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.messages_abandoned, b.messages_abandoned);
+  EXPECT_EQ(a.message_status, b.message_status);
   EXPECT_EQ(a.deadlock_report.blocked, b.deadlock_report.blocked);
   EXPECT_EQ(a.deadlock_report.cycle, b.deadlock_report.cycle);
 }
@@ -227,6 +235,128 @@ TEST_F(HyperXGolden, WarmTypedEngineStaysIdenticalToColdReference) {
     PktSim ref(hx_.topo(), ref_cfg);
     expect_identical(typed.run(msgs), ref.run(msgs));
   }
+}
+
+// --- online fault layer ---------------------------------------------------------
+
+TEST_F(HyperXGolden, InertOnlineConfigIsBitIdentical) {
+  // The off switch is a contract: an attached config with no faults, no
+  // epochs and retry disabled must change no result bit on either engine.
+  const auto msgs = traffic(51, 300, 0.0);
+  PktSim plain(hx_.topo(), PktSimConfig{});
+  const PktSim::Result base = plain.run(msgs);
+
+  PktOnlineConfig inert;
+  PktSimConfig cfg;
+  cfg.online = &inert;
+  PktSim typed(hx_.topo(), cfg);
+  expect_identical(typed.run(msgs), base);
+  cfg.engine = PktSimConfig::Engine::kReference;
+  PktSim ref(hx_.topo(), cfg);
+  expect_identical(ref.run(msgs), base);
+}
+
+TEST_F(HyperXGolden, OnlineFaultWithRetryMatchesAcrossEnginesAndThreads) {
+  // Mid-run cable cut plus end-host timeout/retry: drops, backoff jitter
+  // draws and give-ups must all hold the cross-engine identity, and the
+  // per-replication retry Rng must make run_batch thread-count invariant.
+  std::vector<std::vector<PktMessage>> reps;
+  for (std::uint64_t s = 61; s <= 64; ++s)
+    reps.push_back(traffic(s, 150, 0.0));
+
+  PktOnlineConfig online;
+  online.faults.push_back({0.5e-6, reps[0][0].path});
+  online.retry.enabled = true;
+  online.retry.timeout = 20e-6;
+  online.retry.backoff_base = 1e-6;
+  online.retry.jitter = 0.5;
+  online.retry.max_retries = 3;
+  online.retry.seed = 7;
+
+  PktSimConfig cfg;
+  cfg.online = &online;
+  for (const auto& r : reps) golden_compare(hx_.topo(), cfg, r, true);
+
+  PktSimConfig ref_cfg = cfg;
+  ref_cfg.engine = PktSimConfig::Engine::kReference;
+  PktSim ref(hx_.topo(), ref_cfg);
+  std::vector<PktSim::Result> serial;
+  std::int64_t retries = 0;
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    serial.push_back(ref.run(reps[i], SIZE_MAX, i));
+    retries += serial.back().retries;
+  }
+  EXPECT_GT(retries, 0) << "fault did not exercise the retry path";
+
+  for (const std::int32_t threads : {1, 4}) {
+    PktSim typed(hx_.topo(), cfg);
+    const auto batch = typed.run_batch(reps, threads);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " replication=" + std::to_string(i));
+      expect_identical(batch[i], serial[i]);
+    }
+  }
+}
+
+TEST(OnlineGolden, TtlLoopDropIsDeterministic) {
+  // Hand-built transient loop: a 3-switch line where the "repaired" epoch
+  // reaches only the middle switch, whose new route points back at a
+  // switch still forwarding by the stale table.  The packet ping-pongs
+  // deterministically until the TTL budget drops it on both engines.
+  Topology topo("line3");
+  const SwitchId s0 = topo.add_switch();
+  const SwitchId s1 = topo.add_switch();
+  const SwitchId s2 = topo.add_switch();
+  const NodeId t0 = topo.add_terminal(s0);
+  const NodeId t2 = topo.add_terminal(s2);
+  const auto [c01, c10] = topo.connect(s0, s1);
+  const auto [c12, c21] = topo.connect(s1, s2);
+  (void)c21;
+
+  const routing::LidSpace lids =
+      routing::LidSpace::consecutive(topo.num_terminals(), 0);
+  const routing::Lid dlid = lids.base_lid(t2);
+  routing::ForwardingTables e0(topo.num_switches(), lids.max_lid());
+  e0.set(s0, dlid, c01);
+  e0.set(s1, dlid, c12);
+  e0.set(s2, dlid, topo.terminal_down(t2));
+  routing::ForwardingTables e1 = e0;
+  e1.set(s1, dlid, c10);  // repaired route detours back through s0
+
+  PktOnlineConfig online;
+  online.epochs.push_back({&e0, nullptr, {}});
+  online.epochs.push_back(
+      {&e1, nullptr, std::vector<double>{1e9, 0.0, 1e9}});
+  online.lids = &lids;
+  online.ttl_hops = 8;
+
+  PktMessage m;
+  m.src = t0;
+  m.dst = t2;
+  m.bytes = 1024;  // single segment, path-less: table-routed
+  const std::vector<PktMessage> msgs{m};
+
+  PktSimConfig cfg;
+  cfg.online = &online;
+  golden_compare(topo, cfg, msgs, /*with_trace=*/true);
+
+  PktSim typed(topo, cfg);
+  const PktSim::Result r = typed.run(msgs);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.packets_total, 1);
+  EXPECT_EQ(r.packets_delivered, 0);
+  EXPECT_EQ(r.packets_dropped, 1);
+  EXPECT_EQ(r.dropped_by_cause[static_cast<std::size_t>(
+                obs::PktDropCause::kTtl)],
+            1);
+  EXPECT_TRUE(std::isnan(r.completion[0]));
+  ASSERT_EQ(r.message_status.size(), 1u);
+  EXPECT_EQ(r.message_status[0], PktMessageStatus::kUndelivered);
+  // A repeated run on the warm engine stays bitwise stable.
+  expect_identical(typed.run(msgs), r);
 }
 
 // --- paper fat tree, static ftree -----------------------------------------------
